@@ -1,0 +1,74 @@
+// Ablation: counting Bloom filter (supports unsetting bits on deletion,
+// as the paper's §5.5 "setting or unsetting the corresponding bits"
+// requires) vs a plain Bloom filter where deletions cannot clear bits.
+//
+// Under add/delete churn, the plain filter's stale bits accumulate and
+// its false-positive rate against deleted names climbs toward 100%; the
+// counting filter holds the designed ~1% against genuinely absent names
+// and forgets deleted ones.
+#include "bench/harness.h"
+
+#include "bloom/bloom_filter.h"
+#include "common/workload.h"
+
+int main() {
+  rlsbench::Banner(
+      "Ablation — counting Bloom filter (deletable) vs plain filter",
+      "design choice behind paper §5.5 (incremental filter maintenance)",
+      "false-positive rate on DELETED names after churn rounds");
+
+  const uint64_t live_set = rlsbench::Scaled(100000);
+  const uint64_t churn_per_round = live_set / 10;
+  const int kRounds = 8;
+
+  rlscommon::NameGenerator gen("cbench");
+  bloom::CountingBloomFilter counting =
+      bloom::CountingBloomFilter::ForEntries(live_set);
+  bloom::BloomFilter plain = bloom::BloomFilter::ForEntries(live_set);
+
+  // Initial state: names [0, live_set) are registered.
+  for (uint64_t i = 0; i < live_set; ++i) {
+    counting.Insert(gen.LogicalName(i));
+    plain.Insert(gen.LogicalName(i));
+  }
+
+  rlsbench::Table table({"round", "deleted-name FP% (plain)",
+                         "deleted-name FP% (counting)", "plain set-bit fill %"});
+  uint64_t cursor = live_set;
+  uint64_t deleted_begin = 0;
+  for (int round = 1; round <= kRounds; ++round) {
+    // Delete the oldest churn_per_round names, add as many new ones.
+    for (uint64_t i = 0; i < churn_per_round; ++i) {
+      counting.Remove(gen.LogicalName(deleted_begin + i));
+      // plain filter: CANNOT remove — stale bits stay set.
+      counting.Insert(gen.LogicalName(cursor + i));
+      plain.Insert(gen.LogicalName(cursor + i));
+    }
+    deleted_begin += churn_per_round;
+    cursor += churn_per_round;
+
+    // Probe all deleted names so far.
+    uint64_t plain_fp = 0, counting_fp = 0;
+    bloom::BloomFilter counting_snapshot = counting.ToBloomFilter();
+    for (uint64_t i = 0; i < deleted_begin; ++i) {
+      const std::string name = gen.LogicalName(i);
+      if (plain.Contains(name)) ++plain_fp;
+      if (counting_snapshot.Contains(name)) ++counting_fp;
+    }
+    const double denom = static_cast<double>(deleted_begin);
+    const double fill =
+        100.0 * static_cast<double>(plain.CountSetBits()) /
+        static_cast<double>(plain.num_bits());
+    table.AddRow({std::to_string(round),
+                  rlscommon::FormatDouble(100.0 * plain_fp / denom, 1),
+                  rlscommon::FormatDouble(100.0 * counting_fp / denom, 1),
+                  rlscommon::FormatDouble(fill, 1)});
+  }
+  table.Print();
+  std::printf("\nShape check: the plain filter reports every deleted name as\n"
+              "present (100%% stale positives) and its bitmap fills up with\n"
+              "churn, degrading precision for all queries; the counting filter\n"
+              "stays near the designed ~1%%. This is why the LRC maintains\n"
+              "counters even though only plain bitmaps travel on the wire.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: namespace partitioning (paper §3.5) vs sending the whole
+// namespace to every RLI.
+//
+// The paper notes partitioning "is rarely used in practice because
+// complete Bloom filter updates are efficient" — this bench quantifies
+// the trade: partitioned uncompressed updates halve the per-RLI volume,
+// but a Bloom update of the WHOLE namespace is smaller than either.
+#include "bench/harness.h"
+
+namespace {
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t names = 0;
+  uint64_t bytes = 0;
+};
+
+RunResult RunMode(rls::UpdateMode mode, bool partitioned, uint64_t entries) {
+  rlsbench::Testbed bed;
+  bed.StartRli("rli:p0");
+  bed.StartRli("rli:p1");
+
+  rls::UpdateConfig update;
+  update.mode = mode;
+  if (partitioned) {
+    update.targets.push_back(rls::UpdateTarget{
+        "rli:p0", net::LinkModel::Lan100Mbit(), {"lfn://benchA/*"}});
+    update.targets.push_back(rls::UpdateTarget{
+        "rli:p1", net::LinkModel::Lan100Mbit(), {"lfn://benchB/*"}});
+  } else {
+    update.targets.push_back(
+        rls::UpdateTarget{"rli:p0", net::LinkModel::Lan100Mbit(), {}});
+    update.targets.push_back(
+        rls::UpdateTarget{"rli:p1", net::LinkModel::Lan100Mbit(), {}});
+  }
+  if (mode == rls::UpdateMode::kBloom) update.bloom_expected_entries = entries;
+
+  rls::RlsServer* lrc = bed.StartLrc("lrc:part", rdb::BackendProfile::MySQL(), update);
+  // Two sub-namespaces, half the catalog each.
+  rlscommon::NameGenerator gen_a("benchA"), gen_b("benchB");
+  auto status = lrc->lrc_store()->BulkLoad(entries, [&](uint64_t i) {
+    const rlscommon::NameGenerator& gen = (i % 2 == 0) ? gen_a : gen_b;
+    return rls::Mapping{gen.LogicalName(i / 2), gen.PhysicalName(i / 2)};
+  });
+  if (!status.ok()) std::abort();
+
+  rlscommon::Stopwatch watch;
+  if (!lrc->update_manager()->ForceFullUpdate().ok()) std::abort();
+  RunResult result;
+  result.seconds = watch.ElapsedSeconds();
+  result.names = lrc->update_manager()->stats().names_sent;
+  result.bytes = lrc->update_manager()->stats().bytes_sent;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  rlsbench::Banner(
+      "Ablation — namespace partitioning vs whole-namespace updates",
+      "design choice of paper §3.5",
+      "one LRC updating two RLIs; namespace split 50/50 by glob pattern");
+
+  const uint64_t entries = rlsbench::Scaled(200000);
+
+  rlsbench::Table table({"strategy", "update time (s)", "names shipped", "bytes"});
+  RunResult whole = RunMode(rls::UpdateMode::kPartitioned, /*partitioned=*/false, entries);
+  table.AddRow({"uncompressed, whole namespace to both",
+                rlscommon::FormatDouble(whole.seconds, 2), std::to_string(whole.names),
+                rlscommon::FormatBytes(static_cast<double>(whole.bytes))});
+  RunResult part = RunMode(rls::UpdateMode::kPartitioned, /*partitioned=*/true, entries);
+  table.AddRow({"uncompressed, partitioned by pattern",
+                rlscommon::FormatDouble(part.seconds, 2), std::to_string(part.names),
+                rlscommon::FormatBytes(static_cast<double>(part.bytes))});
+  RunResult bloom = RunMode(rls::UpdateMode::kBloom, /*partitioned=*/false, entries);
+  table.AddRow({"Bloom filter, whole namespace to both",
+                rlscommon::FormatDouble(bloom.seconds, 2), "(bitmap)",
+                rlscommon::FormatBytes(static_cast<double>(bloom.bytes))});
+  table.Print();
+  std::printf("\nShape check: partitioning halves the uncompressed volume (each\n"
+              "RLI gets its subset), but whole-namespace BLOOM updates beat both\n"
+              "uncompressed variants — the paper's stated reason partitioning is\n"
+              "rarely used in practice (§3.5).\n");
+  return 0;
+}

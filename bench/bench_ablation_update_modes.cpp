@@ -1,0 +1,71 @@
+// Ablation: immediate (incremental) mode vs full-update-only mode
+// (design choice §3.3 — "in practice, the use of immediate mode is
+// almost always advantageous").
+//
+// After a small burst of changes to a large catalog, compare what each
+// mode must ship to bring the RLI up to date: a full update re-sends
+// every name; immediate mode sends only the delta.
+#include "bench/harness.h"
+
+int main() {
+  rlsbench::Banner(
+      "Ablation — immediate (incremental) mode vs full updates only",
+      "design choice of paper §3.3",
+      "cost of propagating a 100-change burst out of a large catalog");
+
+  const uint64_t entries = rlsbench::Scaled(1000000);
+  const int kBurst = 100;
+
+  rlsbench::Table table({"mode", "update time (s)", "names shipped",
+                         "bytes on wire", "RLI reflects burst"});
+
+  for (int mode_idx = 0; mode_idx < 2; ++mode_idx) {
+    const bool immediate = mode_idx == 0;
+    rlsbench::Testbed bed;
+    rls::RlsServer* rli = bed.StartRli("rli:ab1");
+    rls::UpdateConfig update;
+    update.mode = immediate ? rls::UpdateMode::kImmediate : rls::UpdateMode::kFull;
+    update.targets.push_back(
+        rls::UpdateTarget{"rli:ab1", net::LinkModel::Lan100Mbit(), {}});
+    rls::RlsServer* lrc =
+        bed.StartLrc("lrc:ab1", rdb::BackendProfile::MySQL(), update);
+    bed.Preload(lrc, entries);
+    // Baseline: the RLI already holds the full catalog.
+    if (!lrc->update_manager()->ForceFullUpdate().ok()) std::abort();
+    const uint64_t names_before = lrc->update_manager()->stats().names_sent;
+    const uint64_t bytes_before = lrc->update_manager()->stats().bytes_sent;
+
+    // The burst: 100 new registrations.
+    for (int i = 0; i < kBurst; ++i) {
+      std::string name = "burst-" + std::to_string(i);
+      if (!lrc->lrc_store()->CreateMapping(name, "gsiftp://x/" + name).ok()) {
+        std::abort();
+      }
+    }
+
+    // Propagate: immediate mode flushes the delta; full mode must re-send
+    // the whole catalog.
+    rlscommon::Stopwatch watch;
+    if (immediate) {
+      if (!lrc->update_manager()->FlushImmediate().ok()) std::abort();
+    } else {
+      if (!lrc->update_manager()->ForceFullUpdate().ok()) std::abort();
+    }
+    const double seconds = watch.ElapsedSeconds();
+    const uint64_t names = lrc->update_manager()->stats().names_sent - names_before;
+    const uint64_t bytes = lrc->update_manager()->stats().bytes_sent - bytes_before;
+
+    std::vector<std::string> lrcs;
+    const bool visible = rli->rli_relational()->Query("burst-0", &lrcs).ok();
+    table.AddRow({immediate ? "immediate (incremental)" : "full update only",
+                  rlscommon::FormatDouble(seconds, 3), std::to_string(names),
+                  rlscommon::FormatBytes(static_cast<double>(bytes)),
+                  visible ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf("\nShape check: immediate mode ships ~the burst size and finishes\n"
+              "orders of magnitude faster; full updates re-send the entire\n"
+              "catalog for the same freshness (why §3.3 recommends immediate\n"
+              "mode except during bulk initialization).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 8: PostgreSQL back end under add/delete churn — the saw-tooth.
+//
+// The paper's PostgreSQL 7.2.4 does not physically remove deleted rows;
+// a periodic VACUUM must collect them, and until it runs, add rates
+// decay steadily. Our PostgreSQL profile reproduces the mechanism: dead
+// tuples stay in heap pages, and index entries tombstone instead of
+// erase, so probe chains lengthen every trial. A VACUUM rebuild restores
+// the rate to its maximum.
+#include "bench/harness.h"
+
+namespace {
+
+/// One trial: add the SAME `n` mappings (fresh each cycle), then delete
+/// them — dead versions pile up exactly in the probed index buckets.
+double ChurnTrial(rlsbench::Testbed& bed, rls::RlsServer* lrc, int threads,
+                  uint64_t n, int cycle) {
+  const uint64_t per_worker = std::max<uint64_t>(1, n / threads);
+  auto name = [&](uint64_t w, uint64_t i) {
+    return "fig8-c" + std::to_string(cycle) + "-w" + std::to_string(w) + "-i" +
+           std::to_string(i);
+  };
+  double rate = rlsbench::RunLrcLoad(
+      bed.network(), lrc->address(), 1, threads, per_worker,
+      [&](rls::LrcClient& client, uint64_t w, uint64_t i) {
+        (void)client.Create(name(w, i), "gsiftp://pg/" + name(w, i));
+      },
+      net::LinkModel::Loopback());  // DB-bound, like the paper's trials
+  rlsbench::RunLrcLoad(bed.network(), lrc->address(), 1, threads, per_worker,
+                       [&](rls::LrcClient& client, uint64_t w, uint64_t i) {
+                         (void)client.Delete(name(w, i), "gsiftp://pg/" + name(w, i));
+                       },
+                       net::LinkModel::Loopback());
+  return rate;
+}
+
+}  // namespace
+
+int main() {
+  rlsbench::Banner(
+      "Figure 8 — PostgreSQL add-rate saw-tooth under churn + VACUUM",
+      "Chervenak et al., HPDC 2004, Fig. 8",
+      "110k-entry LRC (scaled); 10 add+delete trials per VACUUM cycle;\n"
+      "fsync disabled (as in the paper's trials)");
+
+  rlsbench::Testbed bed;
+  rls::RlsServer* lrc =
+      bed.StartLrc("lrc:fig8", rdb::BackendProfile::PostgreSQL());
+  const uint64_t base_entries = rlsbench::Scaled(110000);
+  const uint64_t churn = rlsbench::Scaled(10000);
+  std::printf("preloading %llu entries (paper: 110k); churn per trial: %llu"
+              " (paper: 10k)...\n",
+              static_cast<unsigned long long>(base_entries),
+              static_cast<unsigned long long>(churn));
+  bed.Preload(lrc, base_entries);
+
+  const int kTrialsPerCycle = 10;
+  const int kCycles = 2;
+  const int thread_counts[] = {1, 4};
+
+  for (int threads : thread_counts) {
+    std::printf("\n--- 1 client, %d thread(s) ---\n", threads);
+    rlsbench::Table table({"trial", "adds/s", "dead rows (t_lfn)", "note"});
+    for (int cycle = 0; cycle < kCycles; ++cycle) {
+      for (int trial = 0; trial < kTrialsPerCycle; ++trial) {
+        // SAME names every trial within a cycle: each re-add/re-delete
+        // piles another dead version into exactly the buckets and heap
+        // pages the next trial probes — the paper's churn pattern.
+        const double rate =
+            ChurnTrial(bed, lrc, threads, churn, cycle + threads * 1000);
+        rdb::Database* db = bed.env()->Find(lrc->lrc_store()->pool().dsn());
+        const std::size_t dead = db->GetTable("t_lfn")->dead_rows();
+        table.AddRow({std::to_string(cycle * kTrialsPerCycle + trial + 1),
+                      rlscommon::FormatDouble(rate, 0), std::to_string(dead), ""});
+      }
+      // VACUUM: requires exclusive access (blocks other requests) —
+      // exactly the operation the paper describes (§5.2).
+      rlscommon::Stopwatch watch;
+      bed.env()->Find(lrc->lrc_store()->pool().dsn())->VacuumAll();
+      table.AddRow({"VACUUM", "-", "0",
+                    rlscommon::FormatDouble(watch.ElapsedSeconds(), 2) + " s"});
+    }
+    table.Print();
+  }
+  std::printf("\nShape check: adds/s decays monotonically within each cycle and\n"
+              "snaps back to its maximum right after VACUUM (paper's saw-tooth).\n"
+              "MySQL's profile shows no such decay — see Fig. 6.\n");
+  return 0;
+}

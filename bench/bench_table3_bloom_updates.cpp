@@ -1,0 +1,70 @@
+// Table 3: Bloom filter update performance over the WAN (LA -> Chicago,
+// mean RTT 63.8 ms): soft-state update time, one-time filter generation
+// time, and filter size, for LRC databases of 100K / 1M / 5M mappings.
+//
+// Expected shape (paper): update times of <1 s / 1.67 s / 6.8 s —
+// two to three orders of magnitude below uncompressed updates; filter
+// sizes of 1 / 10 / 50 Mbit (10 bits per mapping).
+#include "bench/harness.h"
+
+int main() {
+  rlsbench::Banner(
+      "Table 3 — Bloom filter update performance (WAN, 63.8 ms RTT)",
+      "Chervenak et al., HPDC 2004, Table 3",
+      "single LRC; filter = 10 bits/mapping, 3 hashes (paper policy)");
+
+  struct Row {
+    const char* paper_label;
+    uint64_t entries;
+  };
+  const Row rows[] = {
+      {"100,000", rlsbench::Scaled(100000)},
+      {"1 Million", rlsbench::Scaled(1000000)},
+      {"5 Million", rlsbench::Scaled(5000000)},
+  };
+
+  rlsbench::Table table({"DB size (paper)", "entries (scaled)",
+                         "soft-state update (s)", "generate filter (s)",
+                         "filter size (bits)", "wire size"});
+  for (const Row& row : rows) {
+    rlsbench::Testbed bed;
+    rls::RlsServer* rli = bed.StartRli("rli:t3", /*with_database=*/false);
+    rls::UpdateConfig update;
+    update.mode = rls::UpdateMode::kBloom;
+    update.targets.push_back(
+        rls::UpdateTarget{"rli:t3", net::LinkModel::WanLaToChicago(), {}});
+    update.bloom_expected_entries = row.entries;
+    rls::RlsServer* lrc =
+        bed.StartLrc("lrc:t3", rdb::BackendProfile::MySQL(), update);
+    std::printf("preloading %llu entries (paper: %s)...\n",
+                static_cast<unsigned long long>(row.entries), row.paper_label);
+    bed.Preload(lrc, row.entries);
+
+    // One-time filter generation (Table 3 column 3).
+    if (!lrc->update_manager()->RebuildBloomFilter().ok()) std::abort();
+    const double generate_s =
+        lrc->update_manager()->stats().last_bloom_generate_seconds;
+
+    // Soft-state update over the WAN (Table 3 column 2). Measure a
+    // steady-state update (the filter already exists).
+    rlscommon::TrialStats stats;
+    for (int t = 0; t < rlsbench::Trials(); ++t) {
+      rlscommon::Stopwatch watch;
+      if (!lrc->update_manager()->ForceFullUpdate().ok()) std::abort();
+      stats.AddTrial(1, watch.ElapsedSeconds());
+    }
+    const uint64_t bits = row.entries * 10;
+    table.AddRow({row.paper_label, std::to_string(row.entries),
+                  rlscommon::FormatDouble(stats.MeanSeconds(), 2),
+                  rlscommon::FormatDouble(generate_s, 2), std::to_string(bits),
+                  rlscommon::FormatBytes(static_cast<double>(bits) / 8)});
+    (void)rli;
+  }
+  table.Print();
+  std::printf("\nShape check: update time is dominated by shipping the bit map\n"
+              "over the WAN and grows ~linearly with filter size; generation is\n"
+              "a one-time cost that grows with the catalog (paper: 2 s / 18.4 s /\n"
+              "91.6 s on 2004 hardware). Compare with Fig. 12: the same catalog\n"
+              "updates 2-3 orders of magnitude faster under compression.\n");
+  return 0;
+}

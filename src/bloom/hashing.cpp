@@ -1,0 +1,55 @@
+#include "bloom/hashing.h"
+
+#include <cstring>
+
+namespace bloom {
+namespace {
+
+inline uint64_t Load64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Mix(uint64_t v) {
+  v ^= v >> 33;
+  v *= 0xff51afd7ed558ccdULL;
+  v ^= v >> 33;
+  v *= 0xc4ceb9fe1a85ec53ULL;
+  v ^= v >> 33;
+  return v;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Mix64(std::string_view data, uint64_t seed) {
+  uint64_t h = seed ^ (data.size() * 0x9e3779b97f4a7c15ULL);
+  const char* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    h = Mix(h ^ Load64(p));
+    p += 8;
+    n -= 8;
+  }
+  uint64_t tail = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tail |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  if (n) h = Mix(h ^ tail);
+  return Mix(h);
+}
+
+HashPair HashKey(std::string_view key) {
+  return HashPair{Mix64(key, 0x51ed27f4a7c15b97ULL), Fnv1a64(key)};
+}
+
+}  // namespace bloom

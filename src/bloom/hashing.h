@@ -1,0 +1,38 @@
+// Hash functions for Bloom filters.
+//
+// The paper computes "three hash values for every logical name" (§3.4).
+// We derive any number of index hashes from two independent 64-bit hashes
+// via the Kirsch–Mitzenmacher double-hashing construction
+// g_i(x) = h1(x) + i * h2(x), which preserves the Bloom false-positive
+// analysis while hashing the key only once.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bloom {
+
+/// 64-bit FNV-1a.
+uint64_t Fnv1a64(std::string_view data);
+
+/// 64-bit MurmurHash3-style finalizer-based hash (xxh-like mixing), with
+/// a seed so h1/h2 are independent.
+uint64_t Mix64(std::string_view data, uint64_t seed);
+
+/// Pair of independent 64-bit hashes of one key.
+struct HashPair {
+  uint64_t h1;
+  uint64_t h2;
+};
+
+/// Hashes `key` once; index hashes are derived with IndexHash().
+HashPair HashKey(std::string_view key);
+
+/// i-th derived hash, reduced modulo `num_bits`.
+inline uint64_t IndexHash(const HashPair& h, uint32_t i, uint64_t num_bits) {
+  // h2 is forced odd so the stride is coprime with power-of-two sizes and
+  // never zero for any size.
+  return (h.h1 + static_cast<uint64_t>(i) * (h.h2 | 1)) % num_bits;
+}
+
+}  // namespace bloom

@@ -1,0 +1,33 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace rlscommon {
+
+void SystemClock::SleepFor(Duration d) {
+  if (d > Duration::zero()) std::this_thread::sleep_for(d);
+}
+
+SystemClock* SystemClock::Instance() {
+  static SystemClock clock;
+  return &clock;
+}
+
+void ManualClock::SleepFor(Duration d) {
+  if (d <= Duration::zero()) return;
+  const int64_t deadline = now_ns_.load(std::memory_order_acquire) + d.count();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return now_ns_.load(std::memory_order_acquire) >= deadline;
+  });
+}
+
+void ManualClock::Advance(Duration d) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+  cv_.notify_all();
+}
+
+}  // namespace rlscommon

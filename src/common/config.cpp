@@ -1,0 +1,94 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace rlscommon {
+
+Status Config::ParseString(std::string_view text, Config* out) {
+  std::size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    // Accept "key value", "key: value", "key=value".
+    std::size_t pos = line.find_first_of(":= \t");
+    if (pos == std::string_view::npos) {
+      return Status::InvalidArgument("config line " + std::to_string(line_no) +
+                                     ": missing value for key '" + std::string(line) + "'");
+    }
+    std::string key(Trim(line.substr(0, pos)));
+    std::string value(Trim(line.substr(pos + 1)));
+    if (key.empty()) {
+      return Status::InvalidArgument("config line " + std::to_string(line_no) + ": empty key");
+    }
+    out->Set(key, value);
+  }
+  return Status::Ok();
+}
+
+Status Config::ParseFile(const std::string& path, Config* out) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("config file not found: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseString(buffer.str(), out);
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, value);
+}
+
+std::optional<std::string> Config::Get(const std::string& key) const {
+  // Last writer wins, matching typical config-file override behaviour.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->first == key) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Config::GetAll(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : entries_) {
+    if (k == key) out.push_back(v);
+  }
+  return out;
+}
+
+std::string Config::GetString(const std::string& key, const std::string& def) const {
+  auto v = Get(key);
+  return v ? *v : def;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t def) const {
+  auto v = Get(key);
+  if (!v) return def;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') return def;
+  return parsed;
+}
+
+double Config::GetDouble(const std::string& key, double def) const {
+  auto v = Get(key);
+  if (!v) return def;
+  char* end = nullptr;
+  double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') return def;
+  return parsed;
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  auto v = Get(key);
+  if (!v) return def;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  return def;
+}
+
+bool Config::Has(const std::string& key) const { return Get(key).has_value(); }
+
+}  // namespace rlscommon

@@ -1,0 +1,46 @@
+// Key=value configuration, mirroring the original RLS server's
+// globus-rls-server configuration file (lrc_server true, rli_server true,
+// acl entries, update intervals, ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace rlscommon {
+
+/// Ordered key/value configuration. Keys may repeat (e.g. multiple `acl`
+/// lines); GetAll returns every value in file order.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key value" / "key: value" / "key=value" lines. '#' starts a
+  /// comment. Returns InvalidArgument on malformed input.
+  static Status ParseString(std::string_view text, Config* out);
+
+  /// Loads a configuration file from disk.
+  static Status ParseFile(const std::string& path, Config* out);
+
+  void Set(const std::string& key, const std::string& value);
+
+  std::optional<std::string> Get(const std::string& key) const;
+  std::vector<std::string> GetAll(const std::string& key) const;
+
+  std::string GetString(const std::string& key, const std::string& def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  bool Has(const std::string& key) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace rlscommon

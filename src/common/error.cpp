@@ -1,0 +1,33 @@
+#include "common/error.h"
+
+namespace rlscommon {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kUnauthenticated: return "UNAUTHENTICATED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kDatabase: return "DATABASE";
+    case ErrorCode::kProtocol: return "PROTOCOL";
+    case ErrorCode::kUnsupported: return "UNSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace rlscommon

@@ -1,0 +1,82 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace rlscommon {
+
+std::size_t LatencyHistogram::BucketFor(uint64_t micros) {
+  if (micros <= 1) return 0;
+  const std::size_t bucket = static_cast<std::size_t>(std::bit_width(micros) - 1);
+  return bucket < kBuckets ? bucket : kBuckets - 1;
+}
+
+uint64_t LatencyHistogram::BucketUpperEdge(std::size_t bucket) {
+  return bucket + 1 >= 64 ? UINT64_MAX : (uint64_t{1} << (bucket + 1)) - 1;
+}
+
+void LatencyHistogram::Record(std::chrono::nanoseconds latency) {
+  RecordMicros(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(latency).count()));
+}
+
+void LatencyHistogram::RecordMicros(uint64_t micros) {
+  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  total_micros_.fetch_add(micros, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::GetSnapshot() const {
+  Snapshot snap;
+  std::array<uint64_t, kBuckets> counts;
+  uint64_t total = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  snap.count = total;
+  if (total == 0) return snap;
+  snap.mean_us = static_cast<double>(total_micros_.load(std::memory_order_relaxed)) /
+                 static_cast<double>(total);
+  auto quantile = [&](double q) -> uint64_t {
+    const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+    uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen > rank) return BucketUpperEdge(b);
+    }
+    return BucketUpperEdge(kBuckets - 1);
+  };
+  snap.p50_us = quantile(0.50);
+  snap.p95_us = quantile(0.95);
+  snap.p99_us = quantile(0.99);
+  for (std::size_t b = kBuckets; b-- > 0;) {
+    if (counts[b] > 0) {
+      snap.max_us = BucketUpperEdge(b);
+      break;
+    }
+  }
+  return snap;
+}
+
+std::string LatencyHistogram::ToString() const {
+  Snapshot s = GetSnapshot();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.0fus p50=%llu"
+                "us p95=%lluus p99=%lluus max=%lluus",
+                static_cast<unsigned long long>(s.count), s.mean_us,
+                static_cast<unsigned long long>(s.p50_us),
+                static_cast<unsigned long long>(s.p95_us),
+                static_cast<unsigned long long>(s.p99_us),
+                static_cast<unsigned long long>(s.max_us));
+  return buf;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  total_micros_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rlscommon

@@ -1,0 +1,41 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace rlscommon {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_io_mu;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void LogLine(LogLevel level, std::string_view component, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  std::lock_guard<std::mutex> lock(g_io_mu);
+  std::fprintf(stderr, "[%s] [%.*s] %.*s\n", LevelName(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace rlscommon

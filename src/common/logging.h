@@ -1,0 +1,61 @@
+// Minimal thread-safe leveled logger.
+//
+// Benchmarks run with logging at WARN so log I/O never perturbs measured
+// rates; tests can raise the level to DEBUG per fixture.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace rlscommon {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line ("[level] [component] message") to stderr.
+/// Thread-safe; a single line is never interleaved with another.
+void LogLine(LogLevel level, std::string_view component, std::string_view message);
+
+namespace internal {
+
+/// Stream-style log statement builder; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogMessage() { LogLine(level_, component_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rlscommon
+
+#define RLS_LOG_ENABLED(level) \
+  (static_cast<int>(level) >= static_cast<int>(::rlscommon::GetLogLevel()))
+
+#define RLS_LOG(level, component)                       \
+  if (!RLS_LOG_ENABLED(level)) {                        \
+  } else                                                \
+    ::rlscommon::internal::LogMessage(level, component)
+
+#define RLS_DEBUG(component) RLS_LOG(::rlscommon::LogLevel::kDebug, component)
+#define RLS_INFO(component) RLS_LOG(::rlscommon::LogLevel::kInfo, component)
+#define RLS_WARN(component) RLS_LOG(::rlscommon::LogLevel::kWarn, component)
+#define RLS_ERROR(component) RLS_LOG(::rlscommon::LogLevel::kError, component)

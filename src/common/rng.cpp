@@ -1,0 +1,15 @@
+#include "common/rng.h"
+
+namespace rlscommon {
+
+std::string RandomIdentifier(Xoshiro256& rng, std::size_t length) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng.Below(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+}  // namespace rlscommon

@@ -1,0 +1,86 @@
+// Deterministic random number generation.
+//
+// Benchmarks and the workload generator need reproducible streams that can
+// be split per thread without correlation; we use SplitMix64 for seeding
+// and xoshiro256** as the workhorse generator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rlscommon {
+
+/// SplitMix64 step; good for turning an arbitrary seed into well-mixed
+/// 64-bit values (used to seed xoshiro streams).
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator so it can be
+/// used with <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<uint64_t>::max(); }
+
+  result_type operator()() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Creates an independent stream for worker `index` (seeds are decorrelated
+  /// through SplitMix64).
+  Xoshiro256 Split(uint64_t index) const {
+    uint64_t sm = s_[0] ^ (index * 0x9e3779b97f4a7c15ULL) ^ s_[3];
+    return Xoshiro256(SplitMix64(sm));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+/// Random lowercase identifier of `length` chars (for name corpora).
+std::string RandomIdentifier(Xoshiro256& rng, std::size_t length);
+
+}  // namespace rlscommon

@@ -1,0 +1,71 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace rlscommon {
+
+Summary Summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double sq = 0.0;
+  for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  auto rank = [&](double p) {
+    std::size_t idx = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(samples.size()))) ;
+    if (idx == 0) idx = 1;
+    if (idx > samples.size()) idx = samples.size();
+    return samples[idx - 1];
+  };
+  s.p50 = rank(0.50);
+  s.p95 = rank(0.95);
+  return s;
+}
+
+void TrialStats::AddTrial(std::size_t operations, double seconds) {
+  seconds_.push_back(seconds);
+  rates_.push_back(seconds > 0 ? static_cast<double>(operations) / seconds : 0.0);
+}
+
+double TrialStats::MeanRate() const {
+  if (rates_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double r : rates_) sum += r;
+  return sum / static_cast<double>(rates_.size());
+}
+
+double TrialStats::MeanSeconds() const {
+  if (seconds_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : seconds_) sum += s;
+  return sum / static_cast<double>(seconds_.size());
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 3) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[unit]);
+  return buf;
+}
+
+}  // namespace rlscommon

@@ -1,0 +1,62 @@
+// Statistics helpers used by the benchmark harness.
+//
+// The paper reports the mean operation rate over (typically 5) trials
+// (§4). TrialStats mirrors that methodology; Summary gives the usual
+// descriptive statistics for tables.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rlscommon {
+
+/// Descriptive statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes a Summary. Percentiles use nearest-rank on a sorted copy.
+Summary Summarize(std::vector<double> samples);
+
+/// Accumulates per-trial results the way the paper's methodology does:
+/// each trial contributes one rate (operations / elapsed seconds); the
+/// reported figure is the mean over trials.
+class TrialStats {
+ public:
+  /// Records a trial of `operations` completed in `seconds`.
+  void AddTrial(std::size_t operations, double seconds);
+
+  /// Records an already-computed rate (ops/sec).
+  void AddRate(double rate) { rates_.push_back(rate); }
+
+  /// Mean rate over recorded trials (0 if none).
+  double MeanRate() const;
+
+  /// Mean seconds per trial (0 if none).
+  double MeanSeconds() const;
+
+  std::size_t trials() const { return rates_.size(); }
+  const std::vector<double>& rates() const { return rates_; }
+
+ private:
+  std::vector<double> rates_;
+  std::vector<double> seconds_;
+};
+
+/// Formats a double with `precision` fractional digits (for table output).
+std::string FormatDouble(double value, int precision = 1);
+
+/// Formats a byte count with unit suffix ("10 Mbit" style helper is in the
+/// bench harness; this gives "1.25 MB").
+std::string FormatBytes(double bytes);
+
+}  // namespace rlscommon

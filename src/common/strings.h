@@ -1,0 +1,39 @@
+// String helpers: splitting, trimming, wildcard matching.
+//
+// The RLS exposes Unix-glob style wildcard queries ('*' and '?', §Table 1);
+// WildcardMatch implements them directly (no regex engine needed on the
+// hot path). Gridmap/ACL patterns use std::regex separately.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlscommon {
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` matches `pattern`, where '*' matches any run (including
+/// empty) and '?' matches exactly one character. Linear-time two-pointer
+/// algorithm; no backtracking blowup.
+bool WildcardMatch(std::string_view pattern, std::string_view text);
+
+/// True if the pattern contains any wildcard metacharacter.
+bool HasWildcard(std::string_view pattern);
+
+/// Case-sensitive prefix/suffix tests.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Converts a SQL LIKE pattern ('%' any run, '_' one char) to the glob
+/// alphabet used by WildcardMatch.
+std::string LikeToGlob(std::string_view like_pattern);
+
+}  // namespace rlscommon

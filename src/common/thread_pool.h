@@ -1,0 +1,65 @@
+// Fixed-size thread pool.
+//
+// Used by the RPC server to service requests (the paper's server is
+// multi-threaded, §3.1) and by benchmarks to drive multi-threaded clients.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rlscommon {
+
+/// A fixed pool of worker threads consuming a FIFO task queue.
+/// Tasks must not block indefinitely on other tasks in the same pool.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads, std::string name = "pool");
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Throws std::runtime_error if the pool is shutting
+  /// down.
+  void Submit(std::function<void()> task);
+
+  /// Enqueues a callable and returns a future for its result.
+  template <typename F>
+  auto SubmitWithResult(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Submit([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Blocks until the queue is empty and all in-flight tasks finished.
+  void Wait();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Number of tasks queued but not yet started.
+  std::size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool shutdown_ = false;
+  std::string name_;
+};
+
+}  // namespace rlscommon

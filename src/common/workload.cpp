@@ -1,0 +1,67 @@
+#include "common/workload.h"
+
+#include <cstdio>
+
+namespace rlscommon {
+
+NameGenerator::NameGenerator(std::string prefix, uint64_t seed)
+    : prefix_(std::move(prefix)), seed_(seed) {
+  // A small fixed pool of storage sites; replica r of LFN i lands at
+  // site (i + r) % sites.size().
+  sites_ = {"storage1.isi.edu",  "storage2.isi.edu",  "dataserver.ligo.org",
+            "se01.cern.ch",      "gridftp.ncsa.edu",  "dcache.fnal.gov",
+            "esg.llnl.gov",      "storage.uwm.edu"};
+}
+
+std::string NameGenerator::LogicalName(uint64_t i) const {
+  // Group names into "runs" of 4096 so the namespace has directory-like
+  // structure (useful for wildcard and partition tests).
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "lfn://%s/run-%05llu/%s-%010llu",
+                prefix_.c_str(),
+                static_cast<unsigned long long>(i / 4096),
+                prefix_.c_str(),
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+std::string NameGenerator::PhysicalName(uint64_t i, uint32_t replica) const {
+  const std::string& site = sites_[(i + seed_ + replica) % sites_.size()];
+  char buf[220];
+  std::snprintf(buf, sizeof(buf), "gsiftp://%s/data/%s/run-%05llu/pfn-%010llu.%u",
+                site.c_str(), prefix_.c_str(),
+                static_cast<unsigned long long>(i / 4096),
+                static_cast<unsigned long long>(i), replica);
+  return buf;
+}
+
+std::vector<std::string> NameGenerator::LogicalNames(uint64_t begin, uint64_t end) const {
+  std::vector<std::string> out;
+  out.reserve(end > begin ? end - begin : 0);
+  for (uint64_t i = begin; i < end; ++i) out.push_back(LogicalName(i));
+  return out;
+}
+
+OpStream::OpStream(uint64_t universe, double query_fraction,
+                   double add_fraction, uint64_t seed)
+    : universe_(universe == 0 ? 1 : universe),
+      query_fraction_(query_fraction),
+      add_fraction_(add_fraction),
+      rng_(seed) {}
+
+Op OpStream::Next() {
+  double roll = rng_.NextDouble();
+  if (roll < query_fraction_) {
+    return {OpKind::kQuery, rng_.Below(universe_)};
+  }
+  if (roll < query_fraction_ + add_fraction_) {
+    // Adds target a scratch range above the preloaded universe; the
+    // matching delete (below) removes the same index, keeping size stable.
+    return {OpKind::kAdd, universe_ + (scratch_cursor_++ % universe_)};
+  }
+  uint64_t idx = scratch_cursor_ > 0 ? universe_ + ((scratch_cursor_ - 1) % universe_)
+                                     : universe_;
+  return {OpKind::kDelete, idx};
+}
+
+}  // namespace rlscommon

@@ -1,0 +1,77 @@
+// Workload generation: logical and physical file name corpora.
+//
+// The paper's experiments preload LRCs with N {logical name -> physical
+// name} mappings and then drive add/delete/query mixes against them (§4).
+// NameGenerator produces names shaped like the deployments in §6
+// (LIGO-style frame files, ESG datasets, Pegasus workflow products) so
+// examples and benches exercise realistic key distributions and sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rlscommon {
+
+/// Deterministic generator of logical/physical name pairs.
+///
+/// Logical name i is stable for a given (prefix, i); physical names embed
+/// a site name so one LFN can have replicas at many sites, matching the
+/// LIGO deployment's 3M LFN -> 30M PFN ratio.
+class NameGenerator {
+ public:
+  /// `prefix` namespaces the corpus (so distinct LRCs hold distinct names
+  /// unless they intentionally share), `seed` drives site selection.
+  explicit NameGenerator(std::string prefix = "lfn", uint64_t seed = 42);
+
+  /// Stable logical file name for index `i`, e.g.
+  /// "lfn://ligo.org/frames/H-R-7043/lfn-0000001234.gwf".
+  std::string LogicalName(uint64_t i) const;
+
+  /// Physical replica name for LFN `i` at replica `replica`, e.g.
+  /// "gsiftp://storage3.site.edu/data/7043/pfn-0000001234.0".
+  std::string PhysicalName(uint64_t i, uint32_t replica = 0) const;
+
+  /// Batch helper: names for [begin, end).
+  std::vector<std::string> LogicalNames(uint64_t begin, uint64_t end) const;
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string prefix_;
+  uint64_t seed_;
+  std::vector<std::string> sites_;
+};
+
+/// Operation mix for load generation.
+enum class OpKind { kAdd, kDelete, kQuery };
+
+/// One generated client operation.
+struct Op {
+  OpKind kind;
+  uint64_t index;  // which LFN it targets
+};
+
+/// Generates a deterministic stream of operations over an index space
+/// [0, universe): queries hit existing entries; adds/deletes cycle through
+/// a scratch range so database size stays constant across trials, matching
+/// the paper's methodology ("mappings added in each trial are deleted
+/// before subsequent trials").
+class OpStream {
+ public:
+  OpStream(uint64_t universe, double query_fraction, double add_fraction,
+           uint64_t seed);
+
+  Op Next();
+
+ private:
+  uint64_t universe_;
+  double query_fraction_;
+  double add_fraction_;
+  Xoshiro256 rng_;
+  uint64_t scratch_cursor_ = 0;
+};
+
+}  // namespace rlscommon

@@ -1,0 +1,100 @@
+// Connection pool: dbapi::Connection is single-threaded (like an ODBC
+// handle), so multi-threaded servers lease one per request.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dbapi/dbapi.h"
+
+namespace dbapi {
+
+class ConnectionPool {
+ public:
+  /// Pool over `dsn` in `env`; connections are created on demand and
+  /// kept for reuse (no upper bound — the RPC layer bounds concurrency
+  /// by its connection count).
+  ConnectionPool(Environment& env, std::string dsn)
+      : env_(env), dsn_(std::move(dsn)) {}
+
+  /// RAII lease: returns the connection to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ConnectionPool* pool, std::unique_ptr<Connection> conn)
+        : pool_(pool), conn_(std::move(conn)) {}
+    ~Lease() { Release(); }
+
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), conn_(std::move(other.conn_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        conn_ = std::move(other.conn_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+
+    Connection* operator->() { return conn_.get(); }
+    Connection& operator*() { return *conn_; }
+    Connection* get() { return conn_.get(); }
+    bool valid() const { return conn_ != nullptr; }
+
+   private:
+    void Release() {
+      if (pool_ && conn_) {
+        // A connection abandoned mid-transaction is rolled back before
+        // anyone else can lease it.
+        if (conn_->in_transaction()) (void)conn_->Rollback();
+        pool_->Return(std::move(conn_));
+      }
+      pool_ = nullptr;
+    }
+    ConnectionPool* pool_ = nullptr;
+    std::unique_ptr<Connection> conn_;
+  };
+
+  /// Leases a connection (creating one if the pool is empty).
+  rlscommon::Status Acquire(Lease* out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!idle_.empty()) {
+        *out = Lease(this, std::move(idle_.back()));
+        idle_.pop_back();
+        return rlscommon::Status::Ok();
+      }
+    }
+    std::unique_ptr<Connection> conn;
+    rlscommon::Status s = Connection::Open(env_, dsn_, &conn);
+    if (!s.ok()) return s;
+    *out = Lease(this, std::move(conn));
+    return rlscommon::Status::Ok();
+  }
+
+  const std::string& dsn() const { return dsn_; }
+
+  std::size_t idle_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_.size();
+  }
+
+ private:
+  friend class Lease;
+  void Return(std::unique_ptr<Connection> conn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle_.push_back(std::move(conn));
+  }
+
+  Environment& env_;
+  std::string dsn_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Connection>> idle_;
+};
+
+}  // namespace dbapi

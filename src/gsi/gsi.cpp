@@ -1,0 +1,164 @@
+#include "gsi/gsi.h"
+
+#include <thread>
+
+#include "common/strings.h"
+
+namespace gsi {
+
+using rlscommon::Status;
+
+std::string_view PrivilegeName(Privilege p) {
+  switch (p) {
+    case Privilege::kLrcRead: return "lrc_read";
+    case Privilege::kLrcWrite: return "lrc_write";
+    case Privilege::kRliRead: return "rli_read";
+    case Privilege::kRliWrite: return "rli_write";
+    case Privilege::kAdmin: return "admin";
+    case Privilege::kStats: return "stats";
+  }
+  return "?";
+}
+
+std::optional<Privilege> ParsePrivilege(std::string_view name) {
+  static constexpr Privilege kAll[] = {Privilege::kLrcRead,  Privilege::kLrcWrite,
+                                       Privilege::kRliRead,  Privilege::kRliWrite,
+                                       Privilege::kAdmin,    Privilege::kStats};
+  for (Privilege p : kAll) {
+    if (PrivilegeName(p) == name) return p;
+  }
+  return std::nullopt;
+}
+
+Status Gridmap::Parse(std::string_view text, Gridmap* out) {
+  for (const std::string& raw : rlscommon::Split(text, '\n')) {
+    std::string_view line = rlscommon::Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (line.front() != '"') {
+      return Status::InvalidArgument("gridmap line must start with a quoted DN: " +
+                                     std::string(line));
+    }
+    std::size_t close = line.find('"', 1);
+    if (close == std::string_view::npos) {
+      return Status::InvalidArgument("unterminated DN quote in gridmap");
+    }
+    std::string dn(line.substr(1, close - 1));
+    std::string user(rlscommon::Trim(line.substr(close + 1)));
+    if (user.empty()) {
+      return Status::InvalidArgument("gridmap entry missing local user for " + dn);
+    }
+    Status s = out->AddEntry(dn, user);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status Gridmap::AddEntry(const std::string& dn_pattern, const std::string& local_user) {
+  Entry e;
+  e.pattern_text = dn_pattern;
+  try {
+    e.pattern = std::regex(dn_pattern, std::regex::ECMAScript);
+  } catch (const std::regex_error& err) {
+    return Status::InvalidArgument("bad gridmap DN regex '" + dn_pattern +
+                                   "': " + err.what());
+  }
+  e.local_user = local_user;
+  entries_.push_back(std::move(e));
+  return Status::Ok();
+}
+
+std::optional<std::string> Gridmap::MapToLocal(const std::string& dn) const {
+  for (const Entry& e : entries_) {
+    if (std::regex_match(dn, e.pattern)) return e.local_user;
+  }
+  return std::nullopt;
+}
+
+Status Acl::AddEntry(const std::string& pattern, std::vector<Privilege> privileges) {
+  Entry e;
+  e.pattern_text = pattern;
+  try {
+    e.pattern = std::regex(pattern, std::regex::ECMAScript);
+  } catch (const std::regex_error& err) {
+    return Status::InvalidArgument("bad ACL regex '" + pattern + "': " + err.what());
+  }
+  for (Privilege p : privileges) e.privilege_mask |= 1u << static_cast<uint8_t>(p);
+  entries_.push_back(std::move(e));
+  return Status::Ok();
+}
+
+Status Acl::AddEntryFromString(const std::string& line) {
+  auto colon = line.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("ACL entry must be 'pattern: priv,...': " + line);
+  }
+  std::string pattern(rlscommon::Trim(line.substr(0, colon)));
+  std::vector<Privilege> privs;
+  for (const std::string& raw : rlscommon::Split(line.substr(colon + 1), ',')) {
+    std::string name(rlscommon::Trim(raw));
+    if (name.empty()) continue;
+    auto p = ParsePrivilege(name);
+    if (!p) return Status::InvalidArgument("unknown privilege '" + name + "'");
+    privs.push_back(*p);
+  }
+  if (privs.empty()) return Status::InvalidArgument("ACL entry grants nothing: " + line);
+  return AddEntry(pattern, std::move(privs));
+}
+
+bool Acl::IsAuthorized(const std::string& dn, const std::string& local_user,
+                       Privilege p) const {
+  const uint32_t bit = 1u << static_cast<uint8_t>(p);
+  for (const Entry& e : entries_) {
+    if (!(e.privilege_mask & bit)) continue;
+    if (!dn.empty() && std::regex_match(dn, e.pattern)) return true;
+    if (!local_user.empty() && std::regex_match(local_user, e.pattern)) return true;
+  }
+  return false;
+}
+
+AuthManager AuthManager::Open() { return AuthManager(); }
+
+AuthManager AuthManager::Secured(Gridmap gridmap, Acl acl,
+                                 std::chrono::microseconds handshake_cost) {
+  AuthManager m;
+  m.open_ = false;
+  m.gridmap_ = std::move(gridmap);
+  m.acl_ = std::move(acl);
+  m.handshake_cost_ = handshake_cost;
+  return m;
+}
+
+Status AuthManager::Authenticate(const Credential& credential, AuthContext* out) const {
+  if (open_) {
+    out->authenticated = !credential.anonymous();
+    out->dn = credential.dn;
+    out->local_user.clear();
+    return Status::Ok();
+  }
+  if (credential.anonymous()) {
+    return Status::Unauthenticated("server requires a credential");
+  }
+  // Simulated certificate verification cost (the real server's GSI
+  // handshake, which the paper identifies as a source of overhead).
+  if (handshake_cost_.count() > 0) std::this_thread::sleep_for(handshake_cost_);
+  out->authenticated = true;
+  out->dn = credential.dn;
+  if (auto user = gridmap_.MapToLocal(credential.dn)) {
+    out->local_user = *user;
+  } else {
+    out->local_user.clear();
+  }
+  return Status::Ok();
+}
+
+Status AuthManager::Authorize(const AuthContext& context, Privilege p) const {
+  if (open_) return Status::Ok();
+  if (!context.authenticated) {
+    return Status::Unauthenticated("operation requires authentication");
+  }
+  if (acl_.IsAuthorized(context.dn, context.local_user, p)) return Status::Ok();
+  return Status::PermissionDenied(std::string(PrivilegeName(p)) + " denied for " +
+                                  context.dn);
+}
+
+}  // namespace gsi

@@ -1,0 +1,140 @@
+// Simulated Grid Security Infrastructure (GSI).
+//
+// The 2004 RLS authenticated clients with X.509 certificates: the
+// Distinguished Name (DN) in the certificate is optionally mapped by a
+// gridmap file to a local username, and access control list entries —
+// regular expressions over DNs or local usernames — grant privileges such
+// as lrc_read and lrc_write (paper §3.1). The server can also run with
+// authentication disabled, granting everyone read/write.
+//
+// We simulate the certificate handshake with a plain DN string plus a
+// configurable handshake cost; the gridmap/ACL machinery is implemented
+// in full and evaluated on every operation, so the authorization code
+// path the paper cites as server overhead is exercised for real.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gsi {
+
+/// Privileges the RLS grants through ACL entries (paper §3.1).
+enum class Privilege : uint8_t {
+  kLrcRead = 0,
+  kLrcWrite = 1,
+  kRliRead = 2,
+  kRliWrite = 3,   // soft-state updates from LRCs
+  kAdmin = 4,      // server management
+  kStats = 5,      // monitoring
+};
+
+std::string_view PrivilegeName(Privilege p);
+std::optional<Privilege> ParsePrivilege(std::string_view name);
+
+/// A client credential: the DN of a (simulated) X.509 certificate.
+/// Empty DN = anonymous.
+struct Credential {
+  std::string dn;
+
+  bool anonymous() const { return dn.empty(); }
+  static Credential Anonymous() { return Credential{}; }
+};
+
+/// gridmap file: maps DNs to local usernames. File format, one per line:
+///   "/DC=org/DC=Grid/CN=Ann Chervenak" annc
+/// The quoted DN may be a literal or an ECMAScript regular expression.
+class Gridmap {
+ public:
+  /// Parses gridmap text; returns InvalidArgument on malformed lines.
+  static rlscommon::Status Parse(std::string_view text, Gridmap* out);
+
+  /// Adds one mapping programmatically.
+  rlscommon::Status AddEntry(const std::string& dn_pattern,
+                             const std::string& local_user);
+
+  /// First matching local username for this DN, or nullopt.
+  std::optional<std::string> MapToLocal(const std::string& dn) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string pattern_text;
+    std::regex pattern;
+    std::string local_user;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Access control list: regex patterns over the DN or the gridmap-mapped
+/// local username, each granting a set of privileges.
+class Acl {
+ public:
+  /// Adds an entry. `pattern` is an ECMAScript regex matched against both
+  /// the DN and the local username.
+  rlscommon::Status AddEntry(const std::string& pattern,
+                             std::vector<Privilege> privileges);
+
+  /// Parses the config-file form "pattern: priv1,priv2,...".
+  rlscommon::Status AddEntryFromString(const std::string& line);
+
+  /// True if any entry matching `dn` or `local_user` grants `p`.
+  bool IsAuthorized(const std::string& dn, const std::string& local_user,
+                    Privilege p) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string pattern_text;
+    std::regex pattern;
+    uint32_t privilege_mask = 0;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Result of a completed handshake, attached to the connection.
+struct AuthContext {
+  bool authenticated = false;  // false = anonymous on an open server
+  std::string dn;
+  std::string local_user;  // gridmap mapping, if any
+};
+
+/// Per-server authentication/authorization policy.
+class AuthManager {
+ public:
+  /// An open server: no authentication, everyone gets all privileges
+  /// ("the RLS server can also be run without any authentication or
+  /// authorization" — paper §3.1).
+  static AuthManager Open();
+
+  /// A securing server with a gridmap and ACL.
+  static AuthManager Secured(Gridmap gridmap, Acl acl,
+                             std::chrono::microseconds handshake_cost =
+                                 std::chrono::microseconds(1500));
+
+  /// Validates a credential at connection time. Applies the simulated
+  /// handshake cost. Unauthenticated if a secured server receives an
+  /// anonymous credential.
+  rlscommon::Status Authenticate(const Credential& credential,
+                                 AuthContext* out) const;
+
+  /// Per-operation check. PermissionDenied when the context lacks `p`.
+  rlscommon::Status Authorize(const AuthContext& context, Privilege p) const;
+
+  bool open() const { return open_; }
+
+ private:
+  bool open_ = true;
+  Gridmap gridmap_;
+  Acl acl_;
+  std::chrono::microseconds handshake_cost_{0};
+};
+
+}  // namespace gsi

@@ -1,0 +1,147 @@
+#include "net/rpc.h"
+
+#include "common/logging.h"
+#include "net/serialize.h"
+
+namespace net {
+
+using rlscommon::ErrorCode;
+using rlscommon::Status;
+
+void EncodeError(const Status& status, std::string* payload) {
+  Writer w(payload);
+  w.U8(static_cast<uint8_t>(status.code()));
+  w.Str(status.message());
+}
+
+Status DecodeError(std::string_view payload) {
+  Reader r(payload);
+  uint8_t code = 0;
+  std::string message;
+  if (!r.U8(&code) || !r.Str(&message)) {
+    return Status::Protocol("malformed error response");
+  }
+  return Status(static_cast<ErrorCode>(code), std::move(message));
+}
+
+RpcServer::RpcServer(Network* network, std::string address, ServerOptions options,
+                     RpcHandler handler)
+    : network_(network),
+      address_(std::move(address)),
+      options_(std::move(options)),
+      handler_(std::move(handler)) {}
+
+RpcServer::~RpcServer() { Stop(); }
+
+Status RpcServer::Start() {
+  Status s = network_->Listen(address_, [this](ConnectionPtr conn) {
+    std::shared_ptr<Connection> shared(conn.release());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load()) {
+      shared->Close();
+      return;
+    }
+    connections_.emplace(next_conn_id_++, shared);
+    threads_.emplace_back([this, shared] { ServeConnection(shared); });
+  });
+  if (s.ok()) started_ = true;
+  return s;
+}
+
+void RpcServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  network_->StopListening(address_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, conn] : connections_) conn->Close();
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections_.clear();
+  }
+  started_ = false;
+  stopping_.store(false);
+}
+
+std::size_t RpcServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_.size();
+}
+
+void RpcServer::ServeConnection(std::shared_ptr<Connection> conn) {
+  gsi::AuthContext context;
+  bool authenticated = false;
+  Message msg;
+  while (conn->Recv(&msg).ok()) {
+    Message reply;
+    reply.request_id = msg.request_id;
+    reply.opcode = msg.opcode;
+    reply.flags = Message::kFlagResponse;
+
+    Status status;
+    if (msg.opcode == kOpcodeAuth) {
+      gsi::Credential cred{msg.payload};
+      status = options_.auth.Authenticate(cred, &context);
+      authenticated = status.ok();
+    } else if (!authenticated) {
+      status = Status::Unauthenticated("handshake required before requests");
+    } else {
+      status = handler_(context, msg.opcode, msg.payload, &reply.payload);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!status.ok()) {
+      reply.flags |= Message::kFlagError;
+      reply.payload.clear();
+      EncodeError(status, &reply.payload);
+    }
+    if (!conn->Send(std::move(reply)).ok()) break;
+  }
+  conn->Close();
+}
+
+Status RpcClient::Connect(Network* network, const std::string& address,
+                          const ClientOptions& options,
+                          std::unique_ptr<RpcClient>* out) {
+  ConnectionPtr conn;
+  Status s = network->Connect(address, options.link, &conn);
+  if (!s.ok()) return s;
+  std::unique_ptr<RpcClient> client(new RpcClient(std::move(conn)));
+  std::string response;
+  s = client->Call(kOpcodeAuth, options.credential.dn, &response);
+  if (!s.ok()) return s;
+  *out = std::move(client);
+  return Status::Ok();
+}
+
+Status RpcClient::Call(uint16_t opcode, const std::string& request,
+                       std::string* response) {
+  const uint32_t request_id = next_request_id_++;
+  Message msg;
+  msg.request_id = request_id;
+  msg.opcode = opcode;
+  msg.payload = request;
+  Status s = conn_->Send(std::move(msg));
+  if (!s.ok()) return s;
+  Message reply;
+  for (;;) {
+    s = conn_->Recv(&reply);
+    if (!s.ok()) return s;
+    if (!reply.is_response() || reply.request_id != request_id) {
+      // Stale response from an aborted earlier call — skip it.
+      continue;
+    }
+    break;
+  }
+  if (reply.is_error()) return DecodeError(reply.payload);
+  if (response) *response = std::move(reply.payload);
+  return Status::Ok();
+}
+
+}  // namespace net

@@ -1,0 +1,106 @@
+// Binary wire codec: little-endian fixed-width integers and
+// length-prefixed strings. Used by the RLS RPC protocol and the
+// soft-state update payloads.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace net {
+
+/// Append-only writer over a std::string buffer.
+class Writer {
+ public:
+  explicit Writer(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { AppendRaw(&v, 2); }
+  void U32(uint32_t v) { AppendRaw(&v, 4); }
+  void U64(uint64_t v) { AppendRaw(&v, 8); }
+  void I64(int64_t v) { AppendRaw(&v, 8); }
+  void F64(double v) { AppendRaw(&v, 8); }
+
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_->append(s);
+  }
+
+  void StrVec(const std::vector<std::string>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (const std::string& s : v) Str(s);
+  }
+
+  /// Raw bytes without a length prefix (caller frames them).
+  void Raw(std::string_view s) { out_->append(s); }
+
+ private:
+  void AppendRaw(const void* p, std::size_t n) {
+    out_->append(static_cast<const char*>(p), n);
+  }
+  std::string* out_;
+};
+
+/// Cursor-based reader; every method returns false on underflow and the
+/// caller converts to a Protocol status (Ok() helper below).
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v) { return Fixed(v, 1); }
+  bool U16(uint16_t* v) { return Fixed(v, 2); }
+  bool U32(uint32_t* v) { return Fixed(v, 4); }
+  bool U64(uint64_t* v) { return Fixed(v, 8); }
+  bool I64(int64_t* v) { return Fixed(v, 8); }
+  bool F64(double* v) { return Fixed(v, 8); }
+
+  bool Str(std::string* out) {
+    uint32_t len;
+    if (!U32(&len) || data_.size() < len) return false;
+    out->assign(data_.substr(0, len));
+    data_.remove_prefix(len);
+    return true;
+  }
+
+  bool StrVec(std::vector<std::string>* out) {
+    uint32_t count;
+    if (!U32(&count)) return false;
+    // Each entry needs at least its 4-byte length prefix.
+    if (static_cast<uint64_t>(count) * 4 > data_.size()) return false;
+    out->clear();
+    out->reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string s;
+      if (!Str(&s)) return false;
+      out->push_back(std::move(s));
+    }
+    return true;
+  }
+
+  /// All remaining bytes.
+  std::string_view Rest() const { return data_; }
+  void Skip(std::size_t n) { data_.remove_prefix(n < data_.size() ? n : data_.size()); }
+
+  bool AtEnd() const { return data_.empty(); }
+  std::size_t remaining() const { return data_.size(); }
+
+ private:
+  bool Fixed(void* p, std::size_t n) {
+    if (data_.size() < n) return false;
+    std::memcpy(p, data_.data(), n);
+    data_.remove_prefix(n);
+    return true;
+  }
+  std::string_view data_;
+};
+
+/// Standard malformed-message status.
+inline rlscommon::Status TruncatedMessage(std::string_view what) {
+  return rlscommon::Status::Protocol("truncated message: " + std::string(what));
+}
+
+}  // namespace net

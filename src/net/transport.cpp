@@ -1,0 +1,145 @@
+#include "net/transport.h"
+
+namespace net {
+
+using rlscommon::Status;
+
+bool MessageQueue::Push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+Status MessageQueue::Pop(Message* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return Status::Unavailable("connection closed");
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return Status::Ok();
+}
+
+Status MessageQueue::TryPop(Message* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) {
+    return closed_ ? Status::Unavailable("connection closed")
+                   : Status::NotFound("queue empty");
+  }
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return Status::Ok();
+}
+
+void MessageQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool MessageQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+void RateLimiter::Acquire(std::size_t bytes) {
+  if (bytes_per_sec_ <= 0) return;
+  const auto cost = std::chrono::duration_cast<rlscommon::Duration>(
+      std::chrono::duration<double>(static_cast<double>(bytes) / bytes_per_sec_));
+  rlscommon::TimePoint wake;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const rlscommon::TimePoint now = clock_->Now();
+    const rlscommon::TimePoint start = next_free_ > now ? next_free_ : now;
+    next_free_ = start + cost;
+    wake = next_free_;
+  }
+  const rlscommon::Duration delay = wake - clock_->Now();
+  if (delay > rlscommon::Duration::zero()) clock_->SleepFor(delay);
+}
+
+Connection::Connection(std::shared_ptr<MessageQueue> incoming,
+                       std::shared_ptr<MessageQueue> outgoing, LinkModel link,
+                       rlscommon::Clock* clock, std::string peer,
+                       std::shared_ptr<RateLimiter> peer_inbound)
+    : incoming_(std::move(incoming)),
+      outgoing_(std::move(outgoing)),
+      link_(link),
+      clock_(clock),
+      peer_(std::move(peer)),
+      peer_inbound_(std::move(peer_inbound)) {}
+
+Status Connection::Send(Message msg) {
+  const std::size_t bytes = msg.WireBytes();
+  const rlscommon::Duration delay = link_.DelayFor(bytes);
+  if (delay > rlscommon::Duration::zero()) clock_->SleepFor(delay);
+  if (peer_inbound_) peer_inbound_->Acquire(bytes);
+  if (!outgoing_->Push(std::move(msg))) {
+    return Status::Unavailable("peer closed connection to " + peer_);
+  }
+  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status Connection::Recv(Message* out) { return incoming_->Pop(out); }
+
+void Connection::Close() {
+  incoming_->Close();
+  outgoing_->Close();
+}
+
+Status Network::Listen(const std::string& address, AcceptHandler on_accept) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (listeners_.count(address)) {
+    return Status::AlreadyExists("address already in use: " + address);
+  }
+  listeners_.emplace(address, std::move(on_accept));
+  return Status::Ok();
+}
+
+void Network::StopListening(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.erase(address);
+}
+
+void Network::SetInboundCapacity(const std::string& address, double bytes_per_sec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes_per_sec <= 0) {
+    inbound_limits_.erase(address);
+  } else {
+    inbound_limits_[address] = std::make_shared<RateLimiter>(bytes_per_sec, clock_);
+  }
+}
+
+Status Network::Connect(const std::string& address, const LinkModel& link,
+                        ConnectionPtr* out) {
+  AcceptHandler handler;
+  std::shared_ptr<RateLimiter> inbound;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = listeners_.find(address);
+    if (it == listeners_.end()) {
+      return Status::NotFound("connection refused: " + address);
+    }
+    handler = it->second;
+    auto limit = inbound_limits_.find(address);
+    if (limit != inbound_limits_.end()) inbound = limit->second;
+  }
+  auto client_to_server = std::make_shared<MessageQueue>();
+  auto server_to_client = std::make_shared<MessageQueue>();
+  auto client_side = std::make_unique<Connection>(server_to_client, client_to_server,
+                                                  link, clock_, address, inbound);
+  auto server_side = std::make_unique<Connection>(client_to_server, server_to_client,
+                                                  link, clock_, "client");
+  handler(std::move(server_side));
+  *out = std::move(client_side);
+  return Status::Ok();
+}
+
+}  // namespace net

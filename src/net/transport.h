@@ -1,0 +1,191 @@
+// In-process message transport with link modeling.
+//
+// The paper's experiments run over a 100 Mbit/s LAN and an LA<->Chicago
+// WAN with 63.8 ms mean RTT. We reproduce the network term with a
+// LinkModel: each message charges (propagation = RTT/2) + (serialization
+// = bytes / bandwidth) before delivery, blocking the sender the way a
+// TCP send of that size effectively would for these request/response
+// protocols.
+//
+// Connections are bidirectional message pipes; a Network object plays the
+// role of the IP fabric: servers Listen() on string addresses, clients
+// Connect() with a chosen LinkModel.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace net {
+
+/// One framed message. `opcode` dispatches; `flags` marks responses and
+/// errors; `request_id` matches responses to calls.
+struct Message {
+  static constexpr uint8_t kFlagResponse = 1;
+  static constexpr uint8_t kFlagError = 2;
+
+  uint32_t request_id = 0;
+  uint16_t opcode = 0;
+  uint8_t flags = 0;
+  std::string payload;
+
+  std::size_t WireBytes() const { return 16 + payload.size(); }  // header + body
+  bool is_response() const { return flags & kFlagResponse; }
+  bool is_error() const { return flags & kFlagError; }
+};
+
+/// Latency/bandwidth model of one direction of a link.
+struct LinkModel {
+  std::chrono::microseconds rtt{0};
+  double bandwidth_bps = 0.0;  // 0 = infinite
+
+  /// One-way delay for a message of `bytes`.
+  rlscommon::Duration DelayFor(std::size_t bytes) const {
+    auto delay = std::chrono::duration_cast<rlscommon::Duration>(rtt) / 2;
+    if (bandwidth_bps > 0) {
+      const double seconds = static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+      delay += std::chrono::duration_cast<rlscommon::Duration>(
+          std::chrono::duration<double>(seconds));
+    }
+    return delay;
+  }
+
+  /// The paper's testbeds.
+  static LinkModel Loopback() { return LinkModel{}; }
+  static LinkModel Lan100Mbit() {
+    return LinkModel{std::chrono::microseconds(200), 100e6};
+  }
+  static LinkModel WanLaToChicago() {
+    // Mean RTT 63.8 ms (paper §5.5); ~2004 transcontinental throughput.
+    return LinkModel{std::chrono::microseconds(63800), 10e6};
+  }
+};
+
+/// Leaky-bucket rate limiter modeling a shared resource (e.g. a server's
+/// inbound NIC): concurrent senders share `bytes_per_sec`, so aggregate
+/// demand beyond the capacity stretches everyone's transfer time — the
+/// mechanism behind the paper's Fig. 13 (client update times rise once
+/// more than ~7 LRCs send continuous Bloom updates).
+class RateLimiter {
+ public:
+  RateLimiter(double bytes_per_sec, rlscommon::Clock* clock)
+      : bytes_per_sec_(bytes_per_sec), clock_(clock) {}
+
+  /// Blocks until `bytes` may pass; admission is serialized at the
+  /// configured rate.
+  void Acquire(std::size_t bytes);
+
+ private:
+  double bytes_per_sec_;
+  rlscommon::Clock* clock_;
+  std::mutex mu_;
+  rlscommon::TimePoint next_free_{};
+};
+
+/// Unbounded MPSC-ish message queue with shutdown.
+class MessageQueue {
+ public:
+  /// Enqueues; returns false after Close().
+  bool Push(Message msg);
+
+  /// Blocks for the next message. Returns Unavailable after Close() once
+  /// drained.
+  rlscommon::Status Pop(Message* out);
+
+  /// Non-blocking variant; NotFound when empty.
+  rlscommon::Status TryPop(Message* out);
+
+  void Close();
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+/// One endpoint of an established connection.
+class Connection {
+ public:
+  Connection(std::shared_ptr<MessageQueue> incoming,
+             std::shared_ptr<MessageQueue> outgoing, LinkModel link,
+             rlscommon::Clock* clock, std::string peer,
+             std::shared_ptr<RateLimiter> peer_inbound = nullptr);
+  ~Connection() { Close(); }
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Sends one message, charging the link delay first (blocks the
+  /// sender). Unavailable if the peer closed.
+  rlscommon::Status Send(Message msg);
+
+  /// Blocks for the next incoming message.
+  rlscommon::Status Recv(Message* out);
+
+  /// Closes both directions; pending Recv calls wake with Unavailable.
+  void Close();
+
+  const std::string& peer() const { return peer_; }
+  const LinkModel& link() const { return link_; }
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  std::shared_ptr<MessageQueue> incoming_;
+  std::shared_ptr<MessageQueue> outgoing_;
+  LinkModel link_;
+  rlscommon::Clock* clock_;
+  std::string peer_;
+  std::shared_ptr<RateLimiter> peer_inbound_;  // shared capacity at the peer
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> messages_sent_{0};
+};
+
+using ConnectionPtr = std::unique_ptr<Connection>;
+
+/// The fabric: maps string addresses ("rli.chicago:39281") to listeners.
+class Network {
+ public:
+  explicit Network(rlscommon::Clock* clock = rlscommon::SystemClock::Instance())
+      : clock_(clock) {}
+
+  using AcceptHandler = std::function<void(ConnectionPtr)>;
+
+  /// Registers a listener. AlreadyExists if the address is taken.
+  rlscommon::Status Listen(const std::string& address, AcceptHandler on_accept);
+
+  /// Removes a listener (existing connections keep working until closed).
+  void StopListening(const std::string& address);
+
+  /// Establishes a connection to `address`; the same `link` models both
+  /// directions. NotFound if nothing listens there.
+  rlscommon::Status Connect(const std::string& address, const LinkModel& link,
+                            ConnectionPtr* out);
+
+  /// Caps the aggregate inbound byte rate of one listener: all senders
+  /// to `address` share this capacity (0 removes the cap). Models the
+  /// server's NIC / access link.
+  void SetInboundCapacity(const std::string& address, double bytes_per_sec);
+
+  rlscommon::Clock* clock() { return clock_; }
+
+ private:
+  rlscommon::Clock* clock_;
+  std::mutex mu_;
+  std::map<std::string, AcceptHandler> listeners_;
+  std::map<std::string, std::shared_ptr<RateLimiter>> inbound_limits_;
+};
+
+}  // namespace net

@@ -1,0 +1,65 @@
+#include "rdb/database.h"
+
+namespace rdb {
+
+using rlscommon::Status;
+
+Database::Database(std::string name, BackendProfile profile, std::string wal_path)
+    : name_(std::move(name)), profile_(profile), wal_(std::move(wal_path)) {}
+
+Status Database::CreateTable(TableSchema schema) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  const std::string table = schema.name();  // copy: schema is moved below
+  if (tables_.count(table)) {
+    return Status::AlreadyExists("table " + table + " already exists");
+  }
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("table " + table + " has no columns");
+  }
+  tables_.emplace(table, std::make_unique<Table>(std::move(schema), &profile_));
+  return Status::Ok();
+}
+
+Status Database::DropTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no table " + table);
+  tables_.erase(it);
+  return Status::Ok();
+}
+
+Table* Database::GetTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Database::Vacuum(const std::string& table) {
+  Table* t = GetTable(table);
+  if (!t) return Status::NotFound("no table " + table);
+  std::unique_lock<std::shared_mutex> lock(t->mutex());
+  t->Vacuum();
+  return Status::Ok();
+}
+
+void Database::VacuumAll() {
+  for (const std::string& name : TableNames()) {
+    (void)Vacuum(name);
+  }
+}
+
+}  // namespace rdb

@@ -1,0 +1,59 @@
+// Database: a named catalog of tables sharing one WAL and one backend
+// profile. This is the object a DSN ("mysql://lrc0") resolves to through
+// the dbapi layer.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "rdb/profile.h"
+#include "rdb/table.h"
+#include "rdb/wal.h"
+
+namespace rdb {
+
+class Database {
+ public:
+  /// `wal_path` empty = in-memory accounting only.
+  Database(std::string name, BackendProfile profile, std::string wal_path = "");
+
+  const std::string& name() const { return name_; }
+  const BackendProfile& profile() const { return profile_; }
+  Wal& wal() { return wal_; }
+
+  /// Toggles the per-commit durable flush at runtime (the knob the paper
+  /// flips between the "flush enabled" and "flush disabled" experiments).
+  void SetDurableFlush(bool enabled) { profile_.durable_flush = enabled; }
+  bool durable_flush() const { return profile_.durable_flush; }
+
+  rlscommon::Status CreateTable(TableSchema schema);
+  rlscommon::Status DropTable(const std::string& table);
+
+  /// Looks up a table; nullptr if absent. Pointers stay valid until
+  /// DropTable (tables are never reallocated).
+  Table* GetTable(const std::string& table);
+  const Table* GetTable(const std::string& table) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// VACUUMs one table (exclusive lock) — the PostgreSQL garbage
+  /// collection the paper measures in §5.2. Works (as a no-op compaction)
+  /// under the MySQL profile too.
+  rlscommon::Status Vacuum(const std::string& table);
+
+  /// VACUUMs every table.
+  void VacuumAll();
+
+ private:
+  std::string name_;
+  BackendProfile profile_;
+  Wal wal_;
+  mutable std::mutex catalog_mu_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace rdb

@@ -1,0 +1,147 @@
+#include "rdb/heap.h"
+
+#include <cassert>
+
+namespace rdb {
+
+Page::Page() { data_.reserve(kPageSize); }
+
+bool Page::CanFit(std::size_t len) const {
+  if (slots_.size() >= 0xffff) return false;
+  const std::size_t used = data_.size() - reclaimable_;
+  return used + len + (slots_.size() + 1) * kSlotOverhead <= kPageSize;
+}
+
+uint16_t Page::Insert(std::string_view bytes) {
+  if (data_.size() + bytes.size() + (slots_.size() + 1) * kSlotOverhead > kPageSize) {
+    Compact();
+  }
+  Slot slot;
+  slot.offset = static_cast<uint32_t>(data_.size());
+  slot.length = static_cast<uint32_t>(bytes.size());
+  slot.state = SlotState::kLive;
+  data_.append(bytes);
+  slots_.push_back(slot);
+  ++live_;
+  return static_cast<uint16_t>(slots_.size() - 1);
+}
+
+std::string_view Page::Read(uint16_t slot) const {
+  const Slot& s = slots_[slot];
+  return std::string_view(data_).substr(s.offset, s.length);
+}
+
+void Page::MarkDead(uint16_t slot) {
+  Slot& s = slots_[slot];
+  assert(s.state == SlotState::kLive);
+  s.state = SlotState::kDead;
+  --live_;
+  ++dead_;
+}
+
+void Page::MarkFree(uint16_t slot) {
+  Slot& s = slots_[slot];
+  if (s.state == SlotState::kLive) {
+    --live_;
+  } else if (s.state == SlotState::kDead) {
+    --dead_;
+  }
+  s.state = SlotState::kFree;
+  reclaimable_ += s.length;
+}
+
+std::size_t Page::FreeBytes() const {
+  const std::size_t used = data_.size() - reclaimable_ + slots_.size() * kSlotOverhead;
+  return used >= kPageSize ? 0 : kPageSize - used;
+}
+
+void Page::Compact() {
+  std::string fresh;
+  fresh.reserve(kPageSize);
+  for (Slot& s : slots_) {
+    if (s.state == SlotState::kFree) {
+      s.offset = 0;
+      s.length = 0;
+      continue;
+    }
+    const uint32_t new_offset = static_cast<uint32_t>(fresh.size());
+    fresh.append(data_, s.offset, s.length);
+    s.offset = new_offset;
+  }
+  data_ = std::move(fresh);
+  reclaimable_ = 0;
+}
+
+Rid HeapFile::Insert(std::string_view bytes) {
+  while (!pages_with_space_.empty()) {
+    uint32_t page_id = pages_with_space_.back();
+    Page& page = *pages_[page_id];
+    if (page.CanFit(bytes.size())) {
+      uint16_t slot = page.Insert(bytes);
+      ++live_;
+      if (page.FreeBytes() < 64) {
+        pages_with_space_.pop_back();
+        in_space_list_[page_id] = false;
+      }
+      return Rid{page_id, slot};
+    }
+    pages_with_space_.pop_back();
+    in_space_list_[page_id] = false;
+  }
+  pages_.push_back(std::make_unique<Page>());
+  const uint32_t page_id = static_cast<uint32_t>(pages_.size() - 1);
+  pages_with_space_.push_back(page_id);
+  in_space_list_.push_back(true);
+  uint16_t slot = pages_[page_id]->Insert(bytes);
+  ++live_;
+  return Rid{page_id, slot};
+}
+
+std::string_view HeapFile::Read(Rid rid) const {
+  return pages_[rid.page]->Read(rid.slot);
+}
+
+SlotState HeapFile::state(Rid rid) const { return pages_[rid.page]->state(rid.slot); }
+
+void HeapFile::MarkDead(Rid rid) {
+  pages_[rid.page]->MarkDead(rid.slot);
+  --live_;
+  ++dead_;
+}
+
+void HeapFile::MarkFree(Rid rid) {
+  Page& page = *pages_[rid.page];
+  const SlotState before = page.state(rid.slot);
+  page.MarkFree(rid.slot);
+  if (before == SlotState::kLive) {
+    --live_;
+  } else if (before == SlotState::kDead) {
+    --dead_;
+  }
+  if (page.FreeBytes() >= 64 && !in_space_list_[rid.page]) {
+    pages_with_space_.push_back(rid.page);
+    in_space_list_[rid.page] = true;
+  }
+}
+
+void HeapFile::Scan(
+    const std::function<bool(Rid, std::string_view, SlotState)>& fn) const {
+  for (uint32_t p = 0; p < pages_.size(); ++p) {
+    const Page& page = *pages_[p];
+    for (uint16_t s = 0; s < page.num_slots(); ++s) {
+      const SlotState st = page.state(s);
+      if (st == SlotState::kFree) continue;
+      if (!fn(Rid{p, s}, page.Read(s), st)) return;
+    }
+  }
+}
+
+void HeapFile::Clear() {
+  pages_.clear();
+  pages_with_space_.clear();
+  in_space_list_.clear();
+  live_ = 0;
+  dead_ = 0;
+}
+
+}  // namespace rdb

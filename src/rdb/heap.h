@@ -1,0 +1,125 @@
+// Slotted-page heap storage.
+//
+// Rows live in fixed-size pages with a slot directory, like the heaps
+// under MySQL/PostgreSQL in the paper's testbed. The PostgreSQL profile
+// marks deleted rows dead (they keep occupying page space and remain in
+// the scan path until VACUUM — the mechanism behind the paper's Fig. 8
+// saw-tooth); the MySQL profile frees slots so space is reclaimed by
+// in-page compaction immediately.
+//
+// Not thread-safe: the owning Table serializes access.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdb {
+
+/// Row identifier: page number + slot within page. Stable until VACUUM
+/// rebuilds the heap.
+struct Rid {
+  uint32_t page = 0;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid&) const = default;
+  bool operator<(const Rid& o) const {
+    return page != o.page ? page < o.page : slot < o.slot;
+  }
+};
+
+/// Slot state within a page.
+enum class SlotState : uint8_t {
+  kLive = 0,  // visible row
+  kDead = 1,  // deleted but not vacuumed (PostgreSQL profile)
+  kFree = 2,  // deleted and space reclaimable (MySQL profile)
+};
+
+/// One fixed-capacity page: an append-only data area plus a slot directory.
+class Page {
+ public:
+  static constexpr std::size_t kPageSize = 8192;
+  static constexpr std::size_t kSlotOverhead = 8;  // accounting per slot
+
+  Page();
+
+  /// True if a row of `len` bytes fits (possibly after compaction).
+  bool CanFit(std::size_t len) const;
+
+  /// Inserts row bytes; compacts first if fragmented space suffices.
+  /// Caller must check CanFit. Returns the slot number.
+  uint16_t Insert(std::string_view bytes);
+
+  std::string_view Read(uint16_t slot) const;
+  SlotState state(uint16_t slot) const { return slots_[slot].state; }
+
+  /// PostgreSQL-style delete: space stays occupied.
+  void MarkDead(uint16_t slot);
+  /// MySQL-style delete: space becomes reclaimable.
+  void MarkFree(uint16_t slot);
+
+  uint16_t num_slots() const { return static_cast<uint16_t>(slots_.size()); }
+  std::size_t live_count() const { return live_; }
+  std::size_t dead_count() const { return dead_; }
+
+  /// Bytes available for new rows, counting reclaimable fragments.
+  std::size_t FreeBytes() const;
+
+ private:
+  /// Rewrites the data area dropping kFree slot payloads (slot numbers are
+  /// preserved — Rids stay valid).
+  void Compact();
+
+  struct Slot {
+    uint32_t offset = 0;
+    uint32_t length = 0;
+    SlotState state = SlotState::kLive;
+  };
+
+  std::string data_;            // append area, capacity kPageSize
+  std::vector<Slot> slots_;
+  std::size_t reclaimable_ = 0; // bytes in kFree slots
+  std::size_t live_ = 0;
+  std::size_t dead_ = 0;
+};
+
+/// Growable collection of pages with a free-space list.
+class HeapFile {
+ public:
+  HeapFile() = default;
+
+  /// Inserts a row, growing the heap as needed.
+  Rid Insert(std::string_view bytes);
+
+  /// Reads row bytes; valid for kLive and kDead slots.
+  std::string_view Read(Rid rid) const;
+
+  SlotState state(Rid rid) const;
+
+  void MarkDead(Rid rid);
+  void MarkFree(Rid rid);
+
+  /// Visits every slot in heap order. The callback returns false to stop.
+  /// Dead slots are visited (with state kDead) so scans can model the
+  /// cost of skipping dead tuples; kFree slots are skipped.
+  void Scan(const std::function<bool(Rid, std::string_view, SlotState)>& fn) const;
+
+  /// Drops all pages (used by Table::Vacuum before re-inserting live rows).
+  void Clear();
+
+  std::size_t num_pages() const { return pages_.size(); }
+  std::size_t live_count() const { return live_; }
+  std::size_t dead_count() const { return dead_; }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<uint32_t> pages_with_space_;
+  std::vector<bool> in_space_list_;  // parallel to pages_; avoids duplicates
+  std::size_t live_ = 0;
+  std::size_t dead_ = 0;
+};
+
+}  // namespace rdb

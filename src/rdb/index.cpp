@@ -1,0 +1,136 @@
+#include "rdb/index.h"
+
+namespace rdb {
+namespace {
+
+std::size_t NextPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+HashIndex::HashIndex(IndexDeleteMode mode, bool unique, std::size_t initial_buckets)
+    : mode_(mode), unique_(unique) {
+  buckets_.resize(NextPow2(initial_buckets < 16 ? 16 : initial_buckets));
+}
+
+bool HashIndex::Insert(const Value& key, Rid rid) {
+  const uint64_t hash = key.Hash();
+  auto& bucket = buckets_[BucketFor(hash)];
+  if (unique_) {
+    for (const Entry& e : bucket) {
+      ++stats_.probe_steps;
+      if (!e.dead && e.hash == hash && e.key == key) return false;
+    }
+  }
+  bucket.push_back(Entry{hash, key, rid, /*dead=*/false});
+  ++stats_.live_entries;
+  MaybeGrow();
+  return true;
+}
+
+void HashIndex::Erase(const Value& key, Rid rid) {
+  const uint64_t hash = key.Hash();
+  auto& bucket = buckets_[BucketFor(hash)];
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    ++stats_.probe_steps;
+    Entry& e = bucket[i];
+    if (e.dead || e.hash != hash || !(e.rid == rid) || !(e.key == key)) continue;
+    if (mode_ == IndexDeleteMode::kErase) {
+      bucket[i] = std::move(bucket.back());
+      bucket.pop_back();
+    } else {
+      e.dead = true;
+      ++stats_.tombstones;
+    }
+    --stats_.live_entries;
+    return;
+  }
+}
+
+void HashIndex::Lookup(const Value& key, std::vector<Rid>* out) const {
+  const uint64_t hash = key.Hash();
+  const auto& bucket = buckets_[BucketFor(hash)];
+  ++stats_.probes;
+  for (const Entry& e : bucket) {
+    ++stats_.probe_steps;
+    if (e.hash != hash || !(e.key == key)) continue;
+    // Tombstone mode returns dead entries too: like a PostgreSQL index,
+    // visibility is only decided by fetching the heap tuple — the caller
+    // pays that fetch, which is what makes un-vacuumed churn expensive
+    // (paper Fig. 8).
+    if (!e.dead || mode_ == IndexDeleteMode::kTombstone) out->push_back(e.rid);
+  }
+}
+
+bool HashIndex::ContainsKey(const Value& key) const {
+  const uint64_t hash = key.Hash();
+  const auto& bucket = buckets_[BucketFor(hash)];
+  ++stats_.probes;
+  for (const Entry& e : bucket) {
+    ++stats_.probe_steps;
+    if (!e.dead && e.hash == hash && e.key == key) return true;
+  }
+  return false;
+}
+
+void HashIndex::Clear() {
+  const std::size_t buckets = buckets_.size();
+  buckets_.clear();
+  buckets_.resize(buckets);
+  stats_.live_entries = 0;
+  stats_.tombstones = 0;
+}
+
+void HashIndex::MaybeGrow() {
+  // Growth is triggered by LIVE entries only. Under the tombstone mode
+  // this is deliberate: accumulated tombstones lengthen chains without
+  // triggering a rebuild, exactly like un-vacuumed PostgreSQL index bloat.
+  if (stats_.live_entries <= buckets_.size() * 2) return;
+  std::vector<std::vector<Entry>> old = std::move(buckets_);
+  buckets_.clear();
+  buckets_.resize(old.size() * 2);
+  for (auto& bucket : old) {
+    for (Entry& e : bucket) {
+      buckets_[BucketFor(e.hash)].push_back(std::move(e));
+    }
+  }
+}
+
+void OrderedIndex::Insert(const Value& key, Rid rid) {
+  entries_.emplace(key, rid);
+}
+
+void OrderedIndex::Erase(const Value& key, Rid rid) {
+  auto [begin, end] = entries_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == rid) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+void OrderedIndex::LookupLess(const Value& bound, std::vector<Rid>* out) const {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first.Compare(bound) >= 0) break;
+    out->push_back(it->second);
+  }
+}
+
+void OrderedIndex::LookupRange(const Value& lo, const Value& hi,
+                               std::vector<Rid>* out) const {
+  for (auto it = entries_.lower_bound(lo); it != entries_.end(); ++it) {
+    if (it->first.Compare(hi) > 0) break;
+    out->push_back(it->second);
+  }
+}
+
+void OrderedIndex::Lookup(const Value& key, std::vector<Rid>* out) const {
+  auto [begin, end] = entries_.equal_range(key);
+  for (auto it = begin; it != end; ++it) out->push_back(it->second);
+}
+
+}  // namespace rdb

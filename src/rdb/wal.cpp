@@ -1,0 +1,62 @@
+#include "rdb/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace rdb {
+
+Wal::Wal(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    RLS_WARN("wal") << "cannot open WAL file " << path_ << ": "
+                    << std::strerror(errno) << " — falling back to in-memory";
+  }
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+rlscommon::Status Wal::Commit(std::string_view payload, bool durable,
+                              std::chrono::microseconds penalty) {
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  bytes_logged_.fetch_add(payload.size(), std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (fd_ >= 0 && !payload.empty()) {
+    if (file_bytes_ > kRecycleBytes) {
+      if (::lseek(fd_, 0, SEEK_SET) == 0) file_bytes_ = 0;
+    }
+    const char* p = payload.data();
+    std::size_t n = payload.size();
+    while (n > 0) {
+      ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return rlscommon::Status::Database(std::string("WAL write: ") +
+                                           std::strerror(errno));
+      }
+      p += w;
+      n -= static_cast<std::size_t>(w);
+      file_bytes_ += static_cast<uint64_t>(w);
+    }
+  }
+  if (durable) {
+    if (fd_ >= 0) ::fdatasync(fd_);
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    if (penalty.count() > 0) std::this_thread::sleep_for(penalty);
+  }
+  return rlscommon::Status::Ok();
+}
+
+}  // namespace rdb

@@ -1,0 +1,63 @@
+// Write-ahead log.
+//
+// Transactions buffer their records (in sql::Session) and hand the
+// concatenated payload to Commit. When durable flush is enabled the
+// bytes are written and fsynced — plus the profile's modeled 2004-disk
+// penalty — before Commit returns. With flush disabled the bytes are
+// written without syncing: the OS flushes them eventually, which is the
+// "loose consistency ... at some risk of database corruption" mode the
+// paper recommends enabling for RLS deployments (§5.1).
+//
+// The log is a cost-and-bytes model: it makes the flush-enabled/disabled
+// experiments honest. Crash-recovery replay is intentionally out of scope
+// (RLI state is soft and reconstructable via soft-state updates; LRCs are
+// repopulated by the external publishing service — paper §2/§3.2).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace rdb {
+
+class Wal {
+ public:
+  /// `path` empty = account bytes but keep no file (in-memory database).
+  explicit Wal(std::string path);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Writes one transaction's records. When `durable`, the write is
+  /// synced and `penalty` of modeled disk time is charged before
+  /// returning. Thread-safe; concurrent commits serialize (no group
+  /// commit, matching the flat add-rate-vs-threads curve of Fig. 4).
+  rlscommon::Status Commit(std::string_view payload, bool durable,
+                           std::chrono::microseconds penalty);
+
+  uint64_t bytes_logged() const { return bytes_logged_.load(std::memory_order_relaxed); }
+  uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
+  uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::mutex commit_mu_;
+  std::atomic<uint64_t> bytes_logged_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> syncs_{0};
+  uint64_t file_bytes_ = 0;  // guarded by commit_mu_
+
+  /// Recycle threshold: the log wraps rather than growing without bound
+  /// (checkpointing stand-in).
+  static constexpr uint64_t kRecycleBytes = 256ull << 20;
+};
+
+}  // namespace rdb

@@ -1,0 +1,134 @@
+#include "rls/locator.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rls {
+
+using rlscommon::ErrorCode;
+using rlscommon::Status;
+
+ReplicaLocator::ReplicaLocator(net::Network* network,
+                               std::vector<std::string> rli_addresses,
+                               ClientConfig client_config)
+    : network_(network),
+      rli_addresses_(std::move(rli_addresses)),
+      client_config_(std::move(client_config)) {}
+
+Status ReplicaLocator::RliFor(const std::string& address, RliClient** out) {
+  auto it = rlis_.find(address);
+  if (it == rlis_.end()) {
+    std::unique_ptr<RliClient> client;
+    Status s = RliClient::Connect(network_, address, client_config_, &client);
+    if (!s.ok()) return s;
+    ++counters_.reconnects;
+    it = rlis_.emplace(address, std::move(client)).first;
+  }
+  *out = it->second.get();
+  return Status::Ok();
+}
+
+Status ReplicaLocator::LrcFor(const std::string& address, LrcClient** out) {
+  auto it = lrcs_.find(address);
+  if (it == lrcs_.end()) {
+    std::unique_ptr<LrcClient> client;
+    Status s = LrcClient::Connect(network_, address, client_config_, &client);
+    if (!s.ok()) return s;
+    ++counters_.reconnects;
+    it = lrcs_.emplace(address, std::move(client)).first;
+  }
+  *out = it->second.get();
+  return Status::Ok();
+}
+
+Status ReplicaLocator::Locate(const std::string& logical,
+                              std::vector<std::string>* replicas) {
+  replicas->clear();
+  std::set<std::string> candidate_lrcs;
+  for (const std::string& address : rli_addresses_) {
+    RliClient* rli = nullptr;
+    if (!RliFor(address, &rli).ok()) continue;  // RLI down: try the next
+    std::vector<std::string> owners;
+    ++counters_.rli_queries;
+    Status s = rli->Query(logical, &owners);
+    if (s.ok()) {
+      candidate_lrcs.insert(owners.begin(), owners.end());
+    } else if (s.code() == ErrorCode::kUnavailable) {
+      rlis_.erase(address);  // reconnect next time
+    }
+  }
+  if (candidate_lrcs.empty()) {
+    return Status::NotFound("no RLI knows logical name: " + logical);
+  }
+
+  // The LRCs are authoritative: confirm or drop every candidate.
+  std::set<std::string> confirmed;
+  for (const std::string& address : candidate_lrcs) {
+    LrcClient* lrc = nullptr;
+    if (!LrcFor(address, &lrc).ok()) continue;
+    std::vector<std::string> targets;
+    ++counters_.lrc_queries;
+    Status s = lrc->Query(logical, &targets);
+    if (s.ok()) {
+      confirmed.insert(targets.begin(), targets.end());
+    } else if (s.code() == ErrorCode::kNotFound) {
+      ++counters_.stale_pointers;  // stale soft state or Bloom FP
+    } else if (s.code() == ErrorCode::kUnavailable) {
+      lrcs_.erase(address);
+    }
+  }
+  if (confirmed.empty()) {
+    return Status::NotFound("no LRC confirms replicas for: " + logical);
+  }
+  replicas->assign(confirmed.begin(), confirmed.end());
+  return Status::Ok();
+}
+
+Status ReplicaLocator::LocateBulk(
+    const std::vector<std::string>& logicals,
+    std::map<std::string, std::vector<std::string>>* out) {
+  out->clear();
+  // Pass 1: candidate LRC sets per name, via bulk RLI queries.
+  std::map<std::string, std::set<std::string>> candidates;
+  for (const std::string& address : rli_addresses_) {
+    RliClient* rli = nullptr;
+    if (!RliFor(address, &rli).ok()) continue;
+    std::vector<Mapping> results;
+    ++counters_.rli_queries;
+    Status s = rli->BulkQuery(logicals, &results);
+    if (!s.ok()) {
+      if (s.code() == ErrorCode::kUnavailable) rlis_.erase(address);
+      continue;
+    }
+    for (const Mapping& m : results) candidates[m.logical].insert(m.target);
+  }
+
+  // Pass 2: group names by LRC and confirm with bulk LRC queries.
+  std::map<std::string, std::vector<std::string>> per_lrc;
+  for (const auto& [logical, lrc_set] : candidates) {
+    for (const std::string& lrc : lrc_set) per_lrc[lrc].push_back(logical);
+  }
+  for (const auto& [address, names] : per_lrc) {
+    LrcClient* lrc = nullptr;
+    if (!LrcFor(address, &lrc).ok()) continue;
+    std::vector<Mapping> mappings;
+    ++counters_.lrc_queries;
+    Status s = lrc->BulkQuery(names, &mappings);
+    if (!s.ok()) {
+      if (s.code() == ErrorCode::kUnavailable) lrcs_.erase(address);
+      continue;
+    }
+    std::set<std::string> answered;
+    for (const Mapping& m : mappings) {
+      std::vector<std::string>& replicas = (*out)[m.logical];
+      if (std::find(replicas.begin(), replicas.end(), m.target) == replicas.end()) {
+        replicas.push_back(m.target);
+      }
+      answered.insert(m.logical);
+    }
+    counters_.stale_pointers += names.size() - answered.size();
+  }
+  return Status::Ok();
+}
+
+}  // namespace rls

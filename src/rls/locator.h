@@ -1,0 +1,68 @@
+// ReplicaLocator: the client-side discovery pattern the paper requires
+// of applications (§3.2): query RLIs for candidate LRCs, then treat the
+// LRCs as authoritative — soft state may be stale and Bloom-mode RLIs
+// answer with ~1% false positives, so "an application program must be
+// sufficiently robust to recover from this situation and query for
+// another replica of the logical name."
+//
+// The locator fans a lookup across its configured RLIs, resolves every
+// candidate LRC, drops false positives and stale pointers, and returns
+// the union of confirmed replicas. Connections are cached and reopened
+// on failure.
+//
+// Not thread-safe: use one locator per thread (it wraps per-connection
+// clients).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "rls/client.h"
+
+namespace rls {
+
+class ReplicaLocator {
+ public:
+  /// `rli_addresses`: the RLIs to consult, in preference order.
+  ReplicaLocator(net::Network* network, std::vector<std::string> rli_addresses,
+                 ClientConfig client_config = {});
+
+  /// Finds confirmed replicas of `logical`: the union over every LRC any
+  /// RLI points at, excluding stale/false-positive answers. NotFound if
+  /// no LRC confirms the name.
+  rlscommon::Status Locate(const std::string& logical,
+                           std::vector<std::string>* replicas);
+
+  /// Bulk form: resolves many names with one bulk query per RLI and one
+  /// bulk query per implicated LRC. Names with no confirmed replica are
+  /// absent from `out`.
+  rlscommon::Status LocateBulk(const std::vector<std::string>& logicals,
+                               std::map<std::string, std::vector<std::string>>* out);
+
+  /// Diagnostic counters.
+  struct Counters {
+    uint64_t rli_queries = 0;
+    uint64_t lrc_queries = 0;
+    uint64_t stale_pointers = 0;   // LRC did not confirm an RLI answer
+    uint64_t reconnects = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  /// Cached-or-fresh clients; reset on call failure so the next use
+  /// reconnects.
+  rlscommon::Status RliFor(const std::string& address, RliClient** out);
+  rlscommon::Status LrcFor(const std::string& address, LrcClient** out);
+
+  net::Network* network_;
+  std::vector<std::string> rli_addresses_;
+  ClientConfig client_config_;
+  std::map<std::string, std::unique_ptr<RliClient>> rlis_;
+  std::map<std::string, std::unique_ptr<LrcClient>> lrcs_;
+  Counters counters_;
+};
+
+}  // namespace rls

@@ -1,0 +1,423 @@
+#include "rls/protocol.h"
+
+namespace rls {
+
+using net::Reader;
+using net::TruncatedMessage;
+using net::Writer;
+using rlscommon::Status;
+
+void AttrValue::Encode(Writer* w) const {
+  w->U8(static_cast<uint8_t>(type));
+  switch (type) {
+    case AttrType::kString:
+      w->Str(string_value);
+      break;
+    case AttrType::kInt:
+    case AttrType::kDate:
+      w->I64(int_value);
+      break;
+    case AttrType::kFloat:
+      w->F64(float_value);
+      break;
+  }
+}
+
+bool AttrValue::Decode(Reader* r, AttrValue* out) {
+  uint8_t type = 0;
+  if (!r->U8(&type) || type > static_cast<uint8_t>(AttrType::kDate)) return false;
+  out->type = static_cast<AttrType>(type);
+  switch (out->type) {
+    case AttrType::kString:
+      return r->Str(&out->string_value);
+    case AttrType::kInt:
+    case AttrType::kDate:
+      return r->I64(&out->int_value);
+    case AttrType::kFloat:
+      return r->F64(&out->float_value);
+  }
+  return false;
+}
+
+std::string AttrValue::ToString() const {
+  switch (type) {
+    case AttrType::kString: return string_value;
+    case AttrType::kInt: return std::to_string(int_value);
+    case AttrType::kDate: return std::to_string(int_value) + "us";
+    case AttrType::kFloat: return std::to_string(float_value);
+  }
+  return "?";
+}
+
+void MappingRequest::Encode(std::string* out) const {
+  Writer w(out);
+  w.U32(static_cast<uint32_t>(mappings.size()));
+  for (const Mapping& m : mappings) {
+    w.Str(m.logical);
+    w.Str(m.target);
+  }
+}
+
+Status MappingRequest::Decode(std::string_view data, MappingRequest* out) {
+  Reader r(data);
+  uint32_t count = 0;
+  if (!r.U32(&count)) return TruncatedMessage("mapping count");
+  if (static_cast<uint64_t>(count) * 8 > r.remaining()) {
+    return TruncatedMessage("mapping list");
+  }
+  out->mappings.clear();
+  out->mappings.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Mapping m;
+    if (!r.Str(&m.logical) || !r.Str(&m.target)) return TruncatedMessage("mapping");
+    out->mappings.push_back(std::move(m));
+  }
+  return Status::Ok();
+}
+
+void NameQueryRequest::Encode(std::string* out) const {
+  Writer w(out);
+  w.Str(name);
+  w.U32(offset);
+  w.U32(limit);
+}
+
+Status NameQueryRequest::Decode(std::string_view data, NameQueryRequest* out) {
+  Reader r(data);
+  if (!r.Str(&out->name) || !r.U32(&out->offset) || !r.U32(&out->limit)) {
+    return TruncatedMessage("name query");
+  }
+  return Status::Ok();
+}
+
+void BulkQueryRequest::Encode(std::string* out) const {
+  Writer w(out);
+  w.StrVec(names);
+}
+
+Status BulkQueryRequest::Decode(std::string_view data, BulkQueryRequest* out) {
+  Reader r(data);
+  if (!r.StrVec(&out->names)) return TruncatedMessage("bulk query names");
+  return Status::Ok();
+}
+
+void StringListResponse::Encode(std::string* out) const {
+  Writer w(out);
+  w.StrVec(values);
+}
+
+Status StringListResponse::Decode(std::string_view data, StringListResponse* out) {
+  Reader r(data);
+  if (!r.StrVec(&out->values)) return TruncatedMessage("string list");
+  return Status::Ok();
+}
+
+void MappingListResponse::Encode(std::string* out) const {
+  Writer w(out);
+  w.U32(static_cast<uint32_t>(mappings.size()));
+  for (const Mapping& m : mappings) {
+    w.Str(m.logical);
+    w.Str(m.target);
+  }
+}
+
+Status MappingListResponse::Decode(std::string_view data, MappingListResponse* out) {
+  Reader r(data);
+  uint32_t count = 0;
+  if (!r.U32(&count)) return TruncatedMessage("mapping list count");
+  if (static_cast<uint64_t>(count) * 8 > r.remaining()) {
+    return TruncatedMessage("mapping list");
+  }
+  out->mappings.clear();
+  out->mappings.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Mapping m;
+    if (!r.Str(&m.logical) || !r.Str(&m.target)) return TruncatedMessage("mapping");
+    out->mappings.push_back(std::move(m));
+  }
+  return Status::Ok();
+}
+
+void BulkStatusResponse::Encode(std::string* out) const {
+  Writer w(out);
+  w.U32(succeeded);
+  w.U32(static_cast<uint32_t>(failures.size()));
+  for (const BulkResult& f : failures) {
+    w.U32(f.index);
+    w.U8(static_cast<uint8_t>(f.code));
+  }
+}
+
+Status BulkStatusResponse::Decode(std::string_view data, BulkStatusResponse* out) {
+  Reader r(data);
+  uint32_t count = 0;
+  if (!r.U32(&out->succeeded) || !r.U32(&count)) {
+    return TruncatedMessage("bulk status header");
+  }
+  if (static_cast<uint64_t>(count) * 5 > r.remaining()) {
+    return TruncatedMessage("bulk status list");
+  }
+  out->failures.clear();
+  out->failures.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    BulkResult f;
+    uint8_t code = 0;
+    if (!r.U32(&f.index) || !r.U8(&code)) return TruncatedMessage("bulk status");
+    f.code = static_cast<rlscommon::ErrorCode>(code);
+    out->failures.push_back(f);
+  }
+  return Status::Ok();
+}
+
+void AttrDefineRequest::Encode(std::string* out) const {
+  Writer w(out);
+  w.Str(name);
+  w.U8(static_cast<uint8_t>(object));
+  w.U8(static_cast<uint8_t>(type));
+}
+
+Status AttrDefineRequest::Decode(std::string_view data, AttrDefineRequest* out) {
+  Reader r(data);
+  uint8_t object = 0, type = 0;
+  if (!r.Str(&out->name) || !r.U8(&object) || !r.U8(&type)) {
+    return TruncatedMessage("attr define");
+  }
+  if (object > 1 || type > 3) return Status::Protocol("bad attr enum");
+  out->object = static_cast<AttrObject>(object);
+  out->type = static_cast<AttrType>(type);
+  return Status::Ok();
+}
+
+void AttrValueRequest::Encode(std::string* out) const {
+  Writer w(out);
+  w.Str(object_name);
+  w.Str(attr_name);
+  w.U8(static_cast<uint8_t>(object));
+  value.Encode(&w);
+}
+
+Status AttrValueRequest::Decode(std::string_view data, AttrValueRequest* out) {
+  Reader r(data);
+  uint8_t object = 0;
+  if (!r.Str(&out->object_name) || !r.Str(&out->attr_name) || !r.U8(&object) ||
+      object > 1 || !AttrValue::Decode(&r, &out->value)) {
+    return TruncatedMessage("attr value request");
+  }
+  out->object = static_cast<AttrObject>(object);
+  return Status::Ok();
+}
+
+void BulkAttrRequest::Encode(std::string* out) const {
+  Writer w(out);
+  w.U32(static_cast<uint32_t>(items.size()));
+  for (const AttrValueRequest& item : items) item.Encode(out);
+}
+
+Status BulkAttrRequest::Decode(std::string_view data, BulkAttrRequest* out) {
+  Reader r(data);
+  uint32_t count = 0;
+  if (!r.U32(&count)) return TruncatedMessage("bulk attr count");
+  if (static_cast<uint64_t>(count) * 10 > r.remaining()) {
+    return TruncatedMessage("bulk attr list");
+  }
+  out->items.clear();
+  out->items.reserve(count);
+  std::string_view rest = r.Rest();
+  for (uint32_t i = 0; i < count; ++i) {
+    // Decode one item by re-wrapping the remaining bytes.
+    Reader item_reader(rest);
+    AttrValueRequest item;
+    uint8_t object = 0;
+    if (!item_reader.Str(&item.object_name) || !item_reader.Str(&item.attr_name) ||
+        !item_reader.U8(&object) || object > 1 ||
+        !AttrValue::Decode(&item_reader, &item.value)) {
+      return TruncatedMessage("bulk attr item");
+    }
+    item.object = static_cast<AttrObject>(object);
+    out->items.push_back(std::move(item));
+    rest = item_reader.Rest();
+  }
+  return Status::Ok();
+}
+
+void AttrSearchRequest::Encode(std::string* out) const {
+  Writer w(out);
+  w.Str(attr_name);
+  w.U8(static_cast<uint8_t>(object));
+  w.U8(static_cast<uint8_t>(cmp));
+  value.Encode(&w);
+}
+
+Status AttrSearchRequest::Decode(std::string_view data, AttrSearchRequest* out) {
+  Reader r(data);
+  uint8_t object = 0, cmp = 0;
+  if (!r.Str(&out->attr_name) || !r.U8(&object) || object > 1 || !r.U8(&cmp) ||
+      cmp > 5 || !AttrValue::Decode(&r, &out->value)) {
+    return TruncatedMessage("attr search");
+  }
+  out->object = static_cast<AttrObject>(object);
+  out->cmp = static_cast<AttrCmp>(cmp);
+  return Status::Ok();
+}
+
+void AttrListResponse::Encode(std::string* out) const {
+  Writer w(out);
+  w.U32(static_cast<uint32_t>(attributes.size()));
+  for (const Attribute& a : attributes) {
+    w.Str(a.name);
+    w.U8(static_cast<uint8_t>(a.object));
+    a.value.Encode(&w);
+  }
+}
+
+Status AttrListResponse::Decode(std::string_view data, AttrListResponse* out) {
+  Reader r(data);
+  uint32_t count = 0;
+  if (!r.U32(&count)) return TruncatedMessage("attr list count");
+  if (static_cast<uint64_t>(count) * 6 > r.remaining()) {
+    return TruncatedMessage("attr list");
+  }
+  out->attributes.clear();
+  out->attributes.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Attribute a;
+    uint8_t object = 0;
+    if (!r.Str(&a.name) || !r.U8(&object) || object > 1 ||
+        !AttrValue::Decode(&r, &a.value)) {
+      return TruncatedMessage("attr list item");
+    }
+    a.object = static_cast<AttrObject>(object);
+    out->attributes.push_back(std::move(a));
+  }
+  return Status::Ok();
+}
+
+void FullUpdateBegin::Encode(std::string* out) const {
+  Writer w(out);
+  w.Str(lrc_url);
+  w.U64(update_id);
+  w.U64(total_names);
+}
+
+Status FullUpdateBegin::Decode(std::string_view data, FullUpdateBegin* out) {
+  Reader r(data);
+  if (!r.Str(&out->lrc_url) || !r.U64(&out->update_id) || !r.U64(&out->total_names)) {
+    return TruncatedMessage("full update begin");
+  }
+  return Status::Ok();
+}
+
+void FullUpdateChunk::Encode(std::string* out) const {
+  Writer w(out);
+  w.Str(lrc_url);
+  w.U64(update_id);
+  w.StrVec(names);
+}
+
+Status FullUpdateChunk::Decode(std::string_view data, FullUpdateChunk* out) {
+  Reader r(data);
+  if (!r.Str(&out->lrc_url) || !r.U64(&out->update_id) || !r.StrVec(&out->names)) {
+    return TruncatedMessage("full update chunk");
+  }
+  return Status::Ok();
+}
+
+void FullUpdateEnd::Encode(std::string* out) const {
+  Writer w(out);
+  w.Str(lrc_url);
+  w.U64(update_id);
+}
+
+Status FullUpdateEnd::Decode(std::string_view data, FullUpdateEnd* out) {
+  Reader r(data);
+  if (!r.Str(&out->lrc_url) || !r.U64(&out->update_id)) {
+    return TruncatedMessage("full update end");
+  }
+  return Status::Ok();
+}
+
+void IncrementalUpdate::Encode(std::string* out) const {
+  Writer w(out);
+  w.Str(lrc_url);
+  w.StrVec(added);
+  w.StrVec(removed);
+}
+
+Status IncrementalUpdate::Decode(std::string_view data, IncrementalUpdate* out) {
+  Reader r(data);
+  if (!r.Str(&out->lrc_url) || !r.StrVec(&out->added) || !r.StrVec(&out->removed)) {
+    return TruncatedMessage("incremental update");
+  }
+  return Status::Ok();
+}
+
+void BloomUpdate::Encode(std::string* out) const {
+  Writer w(out);
+  w.Str(lrc_url);
+  w.Str(filter_bytes);
+}
+
+Status BloomUpdate::Decode(std::string_view data, BloomUpdate* out) {
+  Reader r(data);
+  if (!r.Str(&out->lrc_url) || !r.Str(&out->filter_bytes)) {
+    return TruncatedMessage("bloom update");
+  }
+  return Status::Ok();
+}
+
+void EncodeStats(const ServerStats& stats, std::string* out) {
+  Writer w(out);
+  w.U64(stats.lfn_count);
+  w.U64(stats.mapping_count);
+  w.U64(stats.requests_served);
+  w.U64(stats.updates_received);
+  w.U64(stats.updates_sent);
+  w.U64(stats.bloom_filters);
+}
+
+void MetricsResponse::Encode(std::string* out) const {
+  Writer w(out);
+  w.U32(static_cast<uint32_t>(families.size()));
+  for (const FamilyMetrics& f : families) {
+    w.Str(f.family);
+    w.U64(f.count);
+    w.F64(f.mean_us);
+    w.U64(f.p50_us);
+    w.U64(f.p95_us);
+    w.U64(f.p99_us);
+    w.U64(f.max_us);
+  }
+}
+
+Status MetricsResponse::Decode(std::string_view data, MetricsResponse* out) {
+  Reader r(data);
+  uint32_t count = 0;
+  if (!r.U32(&count)) return TruncatedMessage("metrics count");
+  if (static_cast<uint64_t>(count) * 52 > r.remaining()) {
+    return TruncatedMessage("metrics list");
+  }
+  out->families.clear();
+  out->families.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FamilyMetrics f;
+    if (!r.Str(&f.family) || !r.U64(&f.count) || !r.F64(&f.mean_us) ||
+        !r.U64(&f.p50_us) || !r.U64(&f.p95_us) || !r.U64(&f.p99_us) ||
+        !r.U64(&f.max_us)) {
+      return TruncatedMessage("metrics family");
+    }
+    out->families.push_back(std::move(f));
+  }
+  return Status::Ok();
+}
+
+Status DecodeStats(std::string_view data, ServerStats* out) {
+  Reader r(data);
+  if (!r.U64(&out->lfn_count) || !r.U64(&out->mapping_count) ||
+      !r.U64(&out->requests_served) || !r.U64(&out->updates_received) ||
+      !r.U64(&out->updates_sent) || !r.U64(&out->bloom_filters)) {
+    return TruncatedMessage("server stats");
+  }
+  return Status::Ok();
+}
+
+}  // namespace rls

@@ -1,0 +1,243 @@
+// RLS wire protocol: opcodes and request/response codecs.
+//
+// Every client operation of Table 1 has an opcode; soft-state updates
+// (uncompressed full, incremental/immediate, Bloom-compressed) have their
+// own opcode family. Full updates stream in chunks so the link model
+// charges realistic per-message costs for large catalogs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "net/serialize.h"
+#include "rls/types.h"
+
+namespace rls {
+
+enum Op : uint16_t {
+  kPing = 1,
+  kServerStats = 2,
+  kServerMetrics = 3,  // per-operation-family latency histograms
+
+  // --- LRC mapping management (Table 1) ---
+  kLrcCreate = 10,      // create lfn and its first mapping
+  kLrcAdd = 11,         // add another target to an existing lfn
+  kLrcDelete = 12,      // delete one {lfn, target} mapping
+  kLrcBulkCreate = 13,
+  kLrcBulkAdd = 14,
+  kLrcBulkDelete = 15,
+
+  // --- LRC queries ---
+  kLrcQueryLfn = 20,          // targets for a logical name
+  kLrcQueryPfn = 21,          // logical names for a target
+  kLrcBulkQueryLfn = 22,
+  kLrcWildcardQueryLfn = 23,  // glob over logical names
+  kLrcExists = 24,
+
+  // --- LRC attribute management ---
+  kLrcAttrDefine = 30,
+  kLrcAttrAdd = 31,
+  kLrcAttrModify = 32,
+  kLrcAttrDelete = 33,
+  kLrcAttrQueryObj = 34,   // all attributes of one object
+  kLrcAttrSearch = 35,     // objects whose attribute compares to a value
+  kLrcBulkAttrAdd = 36,
+  kLrcBulkAttrDelete = 37,
+  kLrcAttrUndefine = 38,
+
+  // --- LRC management ---
+  kLrcRliList = 40,     // RLIs updated by this LRC
+  kLrcRliAdd = 41,
+  kLrcRliRemove = 42,
+  kLrcForceUpdate = 43, // trigger an immediate soft-state update round
+
+  // --- RLI queries ---
+  kRliQueryLfn = 50,       // LRC urls holding mappings for an lfn
+  kRliBulkQuery = 51,
+  kRliWildcardQuery = 52,  // unsupported on Bloom RLIs (paper §5.4)
+  kRliLrcList = 53,        // LRCs updating this RLI
+
+  // --- soft-state updates (LRC -> RLI, and RLI -> RLI hierarchy) ---
+  kSsFullBegin = 60,
+  kSsFullChunk = 61,
+  kSsFullEnd = 62,
+  kSsIncremental = 63,
+  kSsBloom = 64,
+};
+
+// ---------------------------------------------------------------------
+// Request/response structs. Encode appends to a payload string; Decode
+// returns a Protocol status on malformed input.
+// ---------------------------------------------------------------------
+
+/// {lfn, target} pair list — used by create/add/delete and their bulk
+/// forms (single ops send one pair).
+struct MappingRequest {
+  std::vector<Mapping> mappings;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, MappingRequest* out);
+};
+
+/// Name + flags — queries by logical or target name.
+struct NameQueryRequest {
+  std::string name;
+  uint32_t offset = 0;  // paging for large result sets
+  uint32_t limit = 0;   // 0 = unlimited
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, NameQueryRequest* out);
+};
+
+/// Bulk query: many names at once.
+struct BulkQueryRequest {
+  std::vector<std::string> names;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, BulkQueryRequest* out);
+};
+
+/// List of strings (targets, LRC urls, lfns...).
+struct StringListResponse {
+  std::vector<std::string> values;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, StringListResponse* out);
+};
+
+/// Mapping list (bulk query results, wildcard results).
+struct MappingListResponse {
+  std::vector<Mapping> mappings;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, MappingListResponse* out);
+};
+
+/// Per-item outcomes of a bulk mutation.
+struct BulkStatusResponse {
+  std::vector<BulkResult> failures;  // items not listed succeeded
+  uint32_t succeeded = 0;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, BulkStatusResponse* out);
+};
+
+/// Attribute definition (kLrcAttrDefine / kLrcAttrUndefine).
+struct AttrDefineRequest {
+  std::string name;
+  AttrObject object = AttrObject::kLogical;
+  AttrType type = AttrType::kString;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, AttrDefineRequest* out);
+};
+
+/// Attribute value ops: attach/modify/delete a value on an object.
+struct AttrValueRequest {
+  std::string object_name;  // lfn or target name
+  std::string attr_name;
+  AttrObject object = AttrObject::kLogical;
+  AttrValue value;          // ignored for delete
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, AttrValueRequest* out);
+};
+
+/// Bulk attribute add/delete.
+struct BulkAttrRequest {
+  std::vector<AttrValueRequest> items;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, BulkAttrRequest* out);
+};
+
+/// Attribute search: objects where attr <cmp> value.
+struct AttrSearchRequest {
+  std::string attr_name;
+  AttrObject object = AttrObject::kLogical;
+  AttrCmp cmp = AttrCmp::kEq;
+  AttrValue value;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, AttrSearchRequest* out);
+};
+
+/// Attributes of one object (kLrcAttrQueryObj response).
+struct AttrListResponse {
+  std::vector<Attribute> attributes;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, AttrListResponse* out);
+};
+
+/// Soft-state full update framing.
+struct FullUpdateBegin {
+  std::string lrc_url;
+  uint64_t update_id = 0;
+  uint64_t total_names = 0;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, FullUpdateBegin* out);
+};
+
+struct FullUpdateChunk {
+  std::string lrc_url;
+  uint64_t update_id = 0;
+  std::vector<std::string> names;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, FullUpdateChunk* out);
+};
+
+struct FullUpdateEnd {
+  std::string lrc_url;
+  uint64_t update_id = 0;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, FullUpdateEnd* out);
+};
+
+/// Immediate-mode incremental update: recent adds and deletes.
+struct IncrementalUpdate {
+  std::string lrc_url;
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, IncrementalUpdate* out);
+};
+
+/// Bloom-compressed update: the serialized filter summarizing the LRC.
+struct BloomUpdate {
+  std::string lrc_url;
+  std::string filter_bytes;  // bloom::BloomFilter::Serialize output
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, BloomUpdate* out);
+};
+
+/// Server stats codec.
+void EncodeStats(const ServerStats& stats, std::string* out);
+rlscommon::Status DecodeStats(std::string_view data, ServerStats* out);
+
+/// One operation family's latency summary (kServerMetrics).
+struct FamilyMetrics {
+  std::string family;   // "lrc_read", "lrc_write", "rli_query", "soft_state"
+  uint64_t count = 0;
+  double mean_us = 0;
+  uint64_t p50_us = 0;
+  uint64_t p95_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t max_us = 0;
+};
+
+struct MetricsResponse {
+  std::vector<FamilyMetrics> families;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, MetricsResponse* out);
+};
+
+}  // namespace rls

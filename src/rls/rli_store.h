@@ -1,0 +1,108 @@
+// Replica Location Index state.
+//
+// Two back ends, exactly as in RLS 2.0.9 (paper §3.1/§3.4):
+//   * RliRelationalStore — used when the RLI receives full, uncompressed
+//     soft-state updates. Holds {LN, LRC, updatetime} associations in the
+//     three-table schema of Fig. 3 (right side). Soft state expires via
+//     ExpireOlderThan, driven by the server's expire thread.
+//   * RliBloomStore — used when the RLI receives Bloom-filter updates:
+//     "no database is used ... all Bloom filters are stored in memory".
+//     Queries hash the logical name once and probe every resident filter,
+//     which is why query rates drop as the number of LRC filters grows
+//     (paper Fig. 10).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "common/clock.h"
+#include "common/error.h"
+#include "dbapi/pool.h"
+#include "rls/types.h"
+
+namespace rls {
+
+class RliRelationalStore {
+ public:
+  static rlscommon::Status Create(dbapi::Environment& env, const std::string& dsn,
+                                  std::unique_ptr<RliRelationalStore>* out);
+
+  /// Registers/refreshes the association {lfn -> lrc_url} with timestamp
+  /// `now_micros`. One transaction per call.
+  rlscommon::Status Upsert(const std::string& lfn, const std::string& lrc_url,
+                           int64_t now_micros);
+
+  /// Chunk form: one transaction for the whole batch (what the server
+  /// does per received update chunk).
+  rlscommon::Status UpsertBatch(const std::vector<std::string>& lfns,
+                                const std::string& lrc_url, int64_t now_micros);
+
+  /// Drops the association (incremental update "removed" entries).
+  rlscommon::Status Remove(const std::string& lfn, const std::string& lrc_url);
+
+  /// LRC urls that may hold mappings for `lfn`.
+  rlscommon::Status Query(const std::string& lfn, std::vector<std::string>* lrcs) const;
+
+  /// Glob query over logical names -> {lfn, lrc} pairs. Supported here,
+  /// impossible on the Bloom store.
+  rlscommon::Status WildcardQuery(const std::string& pattern, uint32_t limit,
+                                  std::vector<Mapping>* out) const;
+
+  rlscommon::Status ListLrcs(std::vector<std::string>* out) const;
+
+  /// Deletes associations with updatetime < cutoff (expire thread).
+  /// Orphaned logical-name rows are garbage collected.
+  rlscommon::Status ExpireOlderThan(int64_t cutoff_micros, uint64_t* removed);
+
+  uint64_t AssociationCount() const;
+  uint64_t LogicalNameCount() const;
+
+ private:
+  RliRelationalStore(dbapi::Environment& env, const std::string& dsn)
+      : pool_(env, dsn) {}
+
+  rlscommon::Status InitSchema();
+
+  mutable dbapi::ConnectionPool pool_;
+};
+
+class RliBloomStore {
+ public:
+  explicit RliBloomStore(rlscommon::Clock* clock = rlscommon::SystemClock::Instance())
+      : clock_(clock) {}
+
+  /// Stores (replaces) the summary filter for one LRC.
+  void StoreFilter(const std::string& lrc_url, bloom::BloomFilter filter);
+
+  /// LRC urls whose filter claims `lfn` (false positives possible at the
+  /// configured ~1% rate).
+  rlscommon::Status Query(const std::string& lfn, std::vector<std::string>* lrcs) const;
+
+  rlscommon::Status ListLrcs(std::vector<std::string>* out) const;
+
+  /// Drops filters not refreshed since `max_age` ago; returns the number
+  /// dropped.
+  uint64_t ExpireOlderThan(rlscommon::Duration max_age);
+
+  std::size_t filter_count() const;
+
+  /// Total bits across resident filters (memory footprint reporting).
+  uint64_t TotalFilterBits() const;
+
+ private:
+  struct Entry {
+    bloom::BloomFilter filter;
+    rlscommon::TimePoint received;
+  };
+
+  rlscommon::Clock* clock_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Entry> filters_;
+};
+
+}  // namespace rls

@@ -1,0 +1,684 @@
+#include "rls/rls_server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rls {
+
+using rlscommon::Status;
+
+namespace {
+
+/// Single-mapping decode helper for kLrcCreate/kLrcAdd/kLrcDelete.
+Status DecodeOneMapping(const std::string& request, Mapping* out) {
+  MappingRequest req;
+  Status s = MappingRequest::Decode(request, &req);
+  if (!s.ok()) return s;
+  if (req.mappings.size() != 1) {
+    return Status::Protocol("expected exactly one mapping");
+  }
+  *out = std::move(req.mappings[0]);
+  return Status::Ok();
+}
+
+/// Merges `extra` into `base`, dropping duplicates, preserving order.
+void MergeUnique(std::vector<std::string>* base, const std::vector<std::string>& extra) {
+  for (const std::string& value : extra) {
+    if (std::find(base->begin(), base->end(), value) == base->end()) {
+      base->push_back(value);
+    }
+  }
+}
+
+}  // namespace
+
+RlsServer::RlsServer(net::Network* network, RlsServerConfig config,
+                     dbapi::Environment* env, rlscommon::Clock* clock)
+    : network_(network), config_(std::move(config)), env_(env), clock_(clock) {
+  if (config_.url.empty()) config_.url = config_.address;
+}
+
+RlsServer::~RlsServer() { Stop(); }
+
+Status RlsServer::Start() {
+  if (config_.lrc.enabled) {
+    Status s = LrcStore::Create(*env_, config_.lrc.dsn, &lrc_store_);
+    if (!s.ok()) return s;
+    update_manager_ = std::make_unique<UpdateManager>(
+        network_, lrc_store_.get(), config_.url, config_.lrc.update, clock_);
+    lrc_store_->SetChangeObserver([this](const std::string& lfn, bool added) {
+      update_manager_->OnMappingChange(lfn, added);
+    });
+  }
+  if (config_.rli.enabled) {
+    if (!config_.rli.dsn.empty()) {
+      Status s = RliRelationalStore::Create(*env_, config_.rli.dsn, &rli_relational_);
+      if (!s.ok()) return s;
+    }
+    if (config_.rli.accept_bloom) {
+      rli_bloom_ = std::make_unique<RliBloomStore>(clock_);
+    }
+    for (const UpdateTarget& parent : config_.rli.parents) {
+      parents_.emplace_back(parent, nullptr);
+    }
+  }
+  if (!config_.lrc.enabled && !config_.rli.enabled) {
+    return Status::InvalidArgument("server must enable at least one role");
+  }
+
+  net::ServerOptions options;
+  options.name = config_.url;
+  options.auth = config_.auth;
+  rpc_server_ = std::make_unique<net::RpcServer>(
+      network_, config_.address, options,
+      [this](const gsi::AuthContext& auth, uint16_t opcode,
+             const std::string& request, std::string* response) {
+        return Handle(auth, opcode, request, response);
+      });
+  Status s = rpc_server_->Start();
+  if (!s.ok()) return s;
+
+  if (update_manager_) update_manager_->Start();
+  {
+    std::lock_guard<std::mutex> lock(expire_mu_);
+    running_ = true;
+  }
+  if (config_.rli.enabled && config_.rli.timeout.count() > 0) {
+    expire_thread_ = std::thread([this] { ExpireLoop(); });
+  }
+  return Status::Ok();
+}
+
+void RlsServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(expire_mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  expire_cv_.notify_all();
+  if (expire_thread_.joinable()) expire_thread_.join();
+  if (update_manager_) update_manager_->Stop();
+  if (rpc_server_) rpc_server_->Stop();
+}
+
+ServerStats RlsServer::Stats() const {
+  ServerStats stats;
+  if (lrc_store_) {
+    stats.lfn_count = lrc_store_->LogicalNameCount();
+    stats.mapping_count = lrc_store_->MappingCount();
+  } else if (rli_relational_) {
+    stats.lfn_count = rli_relational_->LogicalNameCount();
+    stats.mapping_count = rli_relational_->AssociationCount();
+  }
+  if (rpc_server_) stats.requests_served = rpc_server_->requests_served();
+  stats.updates_received = updates_received_.load(std::memory_order_relaxed);
+  if (update_manager_) {
+    UpdateStats us = update_manager_->stats();
+    stats.updates_sent = us.full_updates_sent + us.incremental_updates_sent +
+                         us.bloom_updates_sent;
+  }
+  if (rli_bloom_) stats.bloom_filters = rli_bloom_->filter_count();
+  return stats;
+}
+
+void RlsServer::ExpireNow() {
+  const auto timeout = config_.rli.timeout;
+  if (timeout.count() <= 0) return;
+  if (rli_relational_) {
+    const int64_t now_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                                   clock_->Now().time_since_epoch())
+                                   .count();
+    const int64_t cutoff =
+        now_micros -
+        std::chrono::duration_cast<std::chrono::microseconds>(timeout).count();
+    uint64_t removed = 0;
+    if (rli_relational_->ExpireOlderThan(cutoff, &removed).ok()) {
+      expired_entries_.fetch_add(removed, std::memory_order_relaxed);
+    }
+  }
+  if (rli_bloom_) {
+    expired_entries_.fetch_add(rli_bloom_->ExpireOlderThan(timeout),
+                               std::memory_order_relaxed);
+  }
+}
+
+void RlsServer::ExpireLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(expire_mu_);
+      expire_cv_.wait_for(lock, config_.rli.expire_poll, [this] { return !running_; });
+      if (!running_) return;
+    }
+    ExpireNow();
+  }
+}
+
+MetricsResponse RlsServer::Metrics() const {
+  MetricsResponse metrics;
+  auto add = [&](const char* family, const rlscommon::LatencyHistogram& hist) {
+    auto snap = hist.GetSnapshot();
+    FamilyMetrics f;
+    f.family = family;
+    f.count = snap.count;
+    f.mean_us = snap.mean_us;
+    f.p50_us = snap.p50_us;
+    f.p95_us = snap.p95_us;
+    f.p99_us = snap.p99_us;
+    f.max_us = snap.max_us;
+    metrics.families.push_back(std::move(f));
+  };
+  add("lrc_read", lrc_read_latency_);
+  add("lrc_write", lrc_write_latency_);
+  add("rli_query", rli_query_latency_);
+  add("soft_state", soft_state_latency_);
+  return metrics;
+}
+
+namespace {
+
+/// Which latency family an opcode bills to; nullptr = untracked.
+enum class OpFamily { kNone, kLrcRead, kLrcWrite, kRliQuery, kSoftState };
+
+OpFamily FamilyFor(uint16_t opcode) {
+  switch (opcode) {
+    case kLrcQueryLfn:
+    case kLrcQueryPfn:
+    case kLrcBulkQueryLfn:
+    case kLrcWildcardQueryLfn:
+    case kLrcExists:
+    case kLrcAttrQueryObj:
+    case kLrcAttrSearch:
+    case kLrcRliList:
+      return OpFamily::kLrcRead;
+    case kLrcCreate:
+    case kLrcAdd:
+    case kLrcDelete:
+    case kLrcBulkCreate:
+    case kLrcBulkAdd:
+    case kLrcBulkDelete:
+    case kLrcAttrDefine:
+    case kLrcAttrUndefine:
+    case kLrcAttrAdd:
+    case kLrcAttrModify:
+    case kLrcAttrDelete:
+    case kLrcBulkAttrAdd:
+    case kLrcBulkAttrDelete:
+      return OpFamily::kLrcWrite;
+    case kRliQueryLfn:
+    case kRliBulkQuery:
+    case kRliWildcardQuery:
+    case kRliLrcList:
+      return OpFamily::kRliQuery;
+    case kSsFullBegin:
+    case kSsFullChunk:
+    case kSsFullEnd:
+    case kSsIncremental:
+    case kSsBloom:
+      return OpFamily::kSoftState;
+    default:
+      return OpFamily::kNone;
+  }
+}
+
+}  // namespace
+
+Status RlsServer::Handle(const gsi::AuthContext& auth, uint16_t opcode,
+                         const std::string& request, std::string* response) {
+  rlscommon::Stopwatch watch(clock_);
+  Status status = Dispatch(auth, opcode, request, response);
+  switch (FamilyFor(opcode)) {
+    case OpFamily::kLrcRead: lrc_read_latency_.Record(watch.Elapsed()); break;
+    case OpFamily::kLrcWrite: lrc_write_latency_.Record(watch.Elapsed()); break;
+    case OpFamily::kRliQuery: rli_query_latency_.Record(watch.Elapsed()); break;
+    case OpFamily::kSoftState: soft_state_latency_.Record(watch.Elapsed()); break;
+    case OpFamily::kNone: break;
+  }
+  return status;
+}
+
+Status RlsServer::Dispatch(const gsi::AuthContext& auth, uint16_t opcode,
+                           const std::string& request, std::string* response) {
+  if (opcode == kPing) {
+    *response = "pong";
+    return Status::Ok();
+  }
+  if (opcode == kServerStats) {
+    Status s = config_.auth.Authorize(auth, gsi::Privilege::kStats);
+    if (!s.ok()) return s;
+    EncodeStats(Stats(), response);
+    return Status::Ok();
+  }
+  if (opcode == kServerMetrics) {
+    Status s = config_.auth.Authorize(auth, gsi::Privilege::kStats);
+    if (!s.ok()) return s;
+    Metrics().Encode(response);
+    return Status::Ok();
+  }
+  if (opcode >= kLrcCreate && opcode <= kLrcForceUpdate) {
+    if (!config_.lrc.enabled) return Status::Unsupported("server has no LRC role");
+    return HandleLrc(auth, opcode, request, response);
+  }
+  if (opcode >= kRliQueryLfn && opcode <= kRliLrcList) {
+    if (!config_.rli.enabled) return Status::Unsupported("server has no RLI role");
+    return HandleRli(auth, opcode, request, response);
+  }
+  if (opcode >= kSsFullBegin && opcode <= kSsBloom) {
+    if (!config_.rli.enabled) return Status::Unsupported("server has no RLI role");
+    return HandleSoftState(auth, opcode, request, response);
+  }
+  return Status::Protocol("unknown opcode " + std::to_string(opcode));
+}
+
+Status RlsServer::HandleLrc(const gsi::AuthContext& auth, uint16_t opcode,
+                            const std::string& request, std::string* response) {
+  LrcStore& store = *lrc_store_;
+
+  // Privilege per opcode family.
+  gsi::Privilege needed = gsi::Privilege::kLrcRead;
+  switch (opcode) {
+    case kLrcCreate:
+    case kLrcAdd:
+    case kLrcDelete:
+    case kLrcBulkCreate:
+    case kLrcBulkAdd:
+    case kLrcBulkDelete:
+    case kLrcAttrDefine:
+    case kLrcAttrAdd:
+    case kLrcAttrModify:
+    case kLrcAttrDelete:
+    case kLrcBulkAttrAdd:
+    case kLrcBulkAttrDelete:
+    case kLrcAttrUndefine:
+      needed = gsi::Privilege::kLrcWrite;
+      break;
+    case kLrcRliList:
+    case kLrcRliAdd:
+    case kLrcRliRemove:
+    case kLrcForceUpdate:
+      needed = gsi::Privilege::kAdmin;
+      break;
+    default:
+      needed = gsi::Privilege::kLrcRead;
+  }
+  Status s = config_.auth.Authorize(auth, needed);
+  if (!s.ok()) return s;
+
+  switch (opcode) {
+    case kLrcCreate:
+    case kLrcAdd:
+    case kLrcDelete: {
+      Mapping m;
+      s = DecodeOneMapping(request, &m);
+      if (!s.ok()) return s;
+      if (opcode == kLrcCreate) return store.CreateMapping(m.logical, m.target);
+      if (opcode == kLrcAdd) return store.AddMapping(m.logical, m.target);
+      return store.DeleteMapping(m.logical, m.target);
+    }
+    case kLrcBulkCreate:
+    case kLrcBulkAdd:
+    case kLrcBulkDelete: {
+      MappingRequest req;
+      s = MappingRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      BulkStatusResponse result;
+      for (uint32_t i = 0; i < req.mappings.size(); ++i) {
+        const Mapping& m = req.mappings[i];
+        Status item;
+        if (opcode == kLrcBulkCreate) {
+          item = store.CreateMapping(m.logical, m.target);
+        } else if (opcode == kLrcBulkAdd) {
+          item = store.AddMapping(m.logical, m.target);
+        } else {
+          item = store.DeleteMapping(m.logical, m.target);
+        }
+        if (item.ok()) {
+          ++result.succeeded;
+        } else {
+          result.failures.push_back({i, item.code()});
+        }
+      }
+      result.Encode(response);
+      return Status::Ok();
+    }
+    case kLrcQueryLfn:
+    case kLrcQueryPfn: {
+      NameQueryRequest req;
+      s = NameQueryRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      StringListResponse result;
+      s = opcode == kLrcQueryLfn
+              ? store.QueryLogical(req.name, &result.values, req.offset, req.limit)
+              : store.QueryTarget(req.name, &result.values, req.offset, req.limit);
+      if (!s.ok()) return s;
+      result.Encode(response);
+      return Status::Ok();
+    }
+    case kLrcBulkQueryLfn: {
+      BulkQueryRequest req;
+      s = BulkQueryRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      MappingListResponse result;
+      std::vector<std::string> targets;
+      for (const std::string& lfn : req.names) {
+        if (store.QueryLogical(lfn, &targets).ok()) {
+          for (std::string& target : targets) {
+            result.mappings.push_back(Mapping{lfn, std::move(target)});
+          }
+        }
+      }
+      result.Encode(response);
+      return Status::Ok();
+    }
+    case kLrcWildcardQueryLfn: {
+      NameQueryRequest req;
+      s = NameQueryRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      MappingListResponse result;
+      s = store.WildcardQuery(req.name, req.limit, &result.mappings, req.offset);
+      if (!s.ok()) return s;
+      result.Encode(response);
+      return Status::Ok();
+    }
+    case kLrcExists: {
+      NameQueryRequest req;
+      s = NameQueryRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      return store.LogicalExists(req.name)
+                 ? Status::Ok()
+                 : Status::NotFound("not registered: " + req.name);
+    }
+    case kLrcAttrDefine: {
+      AttrDefineRequest req;
+      s = AttrDefineRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      return store.DefineAttribute(req.name, req.object, req.type);
+    }
+    case kLrcAttrUndefine: {
+      AttrDefineRequest req;
+      s = AttrDefineRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      return store.UndefineAttribute(req.name, req.object);
+    }
+    case kLrcAttrAdd:
+    case kLrcAttrModify: {
+      AttrValueRequest req;
+      s = AttrValueRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      return opcode == kLrcAttrAdd ? store.AddAttribute(req)
+                                   : store.ModifyAttribute(req);
+    }
+    case kLrcAttrDelete: {
+      AttrValueRequest req;
+      s = AttrValueRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      return store.DeleteAttribute(req.object_name, req.attr_name, req.object);
+    }
+    case kLrcBulkAttrAdd:
+    case kLrcBulkAttrDelete: {
+      BulkAttrRequest req;
+      s = BulkAttrRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      BulkStatusResponse result;
+      for (uint32_t i = 0; i < req.items.size(); ++i) {
+        const AttrValueRequest& item = req.items[i];
+        Status st = opcode == kLrcBulkAttrAdd
+                        ? store.AddAttribute(item)
+                        : store.DeleteAttribute(item.object_name, item.attr_name,
+                                                item.object);
+        if (st.ok()) {
+          ++result.succeeded;
+        } else {
+          result.failures.push_back({i, st.code()});
+        }
+      }
+      result.Encode(response);
+      return Status::Ok();
+    }
+    case kLrcAttrQueryObj: {
+      AttrValueRequest req;  // value ignored
+      s = AttrValueRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      AttrListResponse result;
+      s = store.QueryObjectAttributes(req.object_name, req.object, &result.attributes);
+      if (!s.ok()) return s;
+      result.Encode(response);
+      return Status::Ok();
+    }
+    case kLrcAttrSearch: {
+      AttrSearchRequest req;
+      s = AttrSearchRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      std::vector<std::pair<std::string, AttrValue>> found;
+      s = store.SearchAttribute(req, &found);
+      if (!s.ok()) return s;
+      AttrListResponse result;
+      for (auto& [object_name, value] : found) {
+        Attribute a;
+        a.name = object_name;  // object names keyed by attribute value
+        a.object = req.object;
+        a.value = value;
+        result.attributes.push_back(std::move(a));
+      }
+      result.Encode(response);
+      return Status::Ok();
+    }
+    case kLrcRliList: {
+      StringListResponse result;
+      s = store.ListRlis(&result.values);
+      if (!s.ok()) return s;
+      result.Encode(response);
+      return Status::Ok();
+    }
+    case kLrcRliAdd:
+    case kLrcRliRemove: {
+      NameQueryRequest req;
+      s = NameQueryRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      if (opcode == kLrcRliAdd) {
+        s = store.AddRli(req.name);
+        if (s.ok() && update_manager_) {
+          update_manager_->AddTarget(UpdateTarget{req.name, net::LinkModel::Loopback(), {}});
+        }
+        return s;
+      }
+      s = store.RemoveRli(req.name);
+      if (s.ok() && update_manager_) update_manager_->RemoveTarget(req.name);
+      return s;
+    }
+    case kLrcForceUpdate: {
+      if (!update_manager_) return Status::Unsupported("no update manager");
+      s = update_manager_->FlushImmediate();
+      if (!s.ok()) return s;
+      return update_manager_->ForceFullUpdate();
+    }
+    default:
+      return Status::Protocol("unhandled LRC opcode " + std::to_string(opcode));
+  }
+}
+
+Status RlsServer::HandleRli(const gsi::AuthContext& auth, uint16_t opcode,
+                            const std::string& request, std::string* response) {
+  Status s = config_.auth.Authorize(auth, gsi::Privilege::kRliRead);
+  if (!s.ok()) return s;
+
+  switch (opcode) {
+    case kRliQueryLfn: {
+      NameQueryRequest req;
+      s = NameQueryRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      StringListResponse result;
+      bool found = false;
+      if (rli_relational_ &&
+          rli_relational_->Query(req.name, &result.values).ok()) {
+        found = true;
+      }
+      if (rli_bloom_) {
+        std::vector<std::string> from_bloom;
+        if (rli_bloom_->Query(req.name, &from_bloom).ok()) {
+          MergeUnique(&result.values, from_bloom);
+          found = true;
+        }
+      }
+      if (!found) return Status::NotFound("no LRC holds mappings for: " + req.name);
+      result.Encode(response);
+      return Status::Ok();
+    }
+    case kRliBulkQuery: {
+      BulkQueryRequest req;
+      s = BulkQueryRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      MappingListResponse result;
+      std::vector<std::string> lrcs;
+      for (const std::string& lfn : req.names) {
+        lrcs.clear();
+        if (rli_relational_) {
+          std::vector<std::string> found;
+          if (rli_relational_->Query(lfn, &found).ok()) MergeUnique(&lrcs, found);
+        }
+        if (rli_bloom_) {
+          std::vector<std::string> found;
+          if (rli_bloom_->Query(lfn, &found).ok()) MergeUnique(&lrcs, found);
+        }
+        for (std::string& lrc : lrcs) {
+          result.mappings.push_back(Mapping{lfn, std::move(lrc)});
+        }
+      }
+      result.Encode(response);
+      return Status::Ok();
+    }
+    case kRliWildcardQuery: {
+      NameQueryRequest req;
+      s = NameQueryRequest::Decode(request, &req);
+      if (!s.ok()) return s;
+      if (!rli_relational_) {
+        // Paper §5.4: wildcard searches on RLI contents "are not possible
+        // when using Bloom filter compression".
+        return Status::Unsupported("wildcard queries unsupported on a Bloom-filter RLI");
+      }
+      MappingListResponse result;
+      s = rli_relational_->WildcardQuery(req.name, req.limit, &result.mappings);
+      if (!s.ok()) return s;
+      result.Encode(response);
+      return Status::Ok();
+    }
+    case kRliLrcList: {
+      StringListResponse result;
+      if (rli_relational_) {
+        s = rli_relational_->ListLrcs(&result.values);
+        if (!s.ok()) return s;
+      }
+      if (rli_bloom_) {
+        std::vector<std::string> from_bloom;
+        s = rli_bloom_->ListLrcs(&from_bloom);
+        if (!s.ok()) return s;
+        MergeUnique(&result.values, from_bloom);
+      }
+      result.Encode(response);
+      return Status::Ok();
+    }
+    default:
+      return Status::Protocol("unhandled RLI opcode " + std::to_string(opcode));
+  }
+}
+
+Status RlsServer::HandleSoftState(const gsi::AuthContext& auth, uint16_t opcode,
+                                  const std::string& request, std::string* response) {
+  (void)response;
+  Status s = config_.auth.Authorize(auth, gsi::Privilege::kRliWrite);
+  if (!s.ok()) return s;
+
+  const int64_t now_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                                 clock_->Now().time_since_epoch())
+                                 .count();
+
+  switch (opcode) {
+    case kSsFullBegin: {
+      FullUpdateBegin req;
+      s = FullUpdateBegin::Decode(request, &req);
+      if (!s.ok()) return s;
+      if (!rli_relational_) {
+        return Status::Unsupported("RLI accepts only Bloom updates (no database)");
+      }
+      ForwardToParents(opcode, request);
+      return Status::Ok();
+    }
+    case kSsFullChunk: {
+      FullUpdateChunk req;
+      s = FullUpdateChunk::Decode(request, &req);
+      if (!s.ok()) return s;
+      if (!rli_relational_) {
+        return Status::Unsupported("RLI accepts only Bloom updates (no database)");
+      }
+      s = rli_relational_->UpsertBatch(req.names, req.lrc_url, now_micros);
+      if (!s.ok()) return s;
+      ForwardToParents(opcode, request);
+      return Status::Ok();
+    }
+    case kSsFullEnd: {
+      FullUpdateEnd req;
+      s = FullUpdateEnd::Decode(request, &req);
+      if (!s.ok()) return s;
+      updates_received_.fetch_add(1, std::memory_order_relaxed);
+      ForwardToParents(opcode, request);
+      return Status::Ok();
+    }
+    case kSsIncremental: {
+      IncrementalUpdate req;
+      s = IncrementalUpdate::Decode(request, &req);
+      if (!s.ok()) return s;
+      if (!rli_relational_) {
+        return Status::Unsupported("RLI accepts only Bloom updates (no database)");
+      }
+      s = rli_relational_->UpsertBatch(req.added, req.lrc_url, now_micros);
+      if (!s.ok()) return s;
+      for (const std::string& lfn : req.removed) {
+        s = rli_relational_->Remove(lfn, req.lrc_url);
+        if (!s.ok()) return s;
+      }
+      updates_received_.fetch_add(1, std::memory_order_relaxed);
+      ForwardToParents(opcode, request);
+      return Status::Ok();
+    }
+    case kSsBloom: {
+      BloomUpdate req;
+      s = BloomUpdate::Decode(request, &req);
+      if (!s.ok()) return s;
+      if (!rli_bloom_) {
+        return Status::Unsupported("RLI does not accept Bloom updates");
+      }
+      bloom::BloomFilter filter;
+      s = bloom::BloomFilter::Deserialize(req.filter_bytes, &filter);
+      if (!s.ok()) return s;
+      rli_bloom_->StoreFilter(req.lrc_url, std::move(filter));
+      updates_received_.fetch_add(1, std::memory_order_relaxed);
+      ForwardToParents(opcode, request);
+      return Status::Ok();
+    }
+    default:
+      return Status::Protocol("unhandled soft-state opcode " + std::to_string(opcode));
+  }
+}
+
+void RlsServer::ForwardToParents(uint16_t opcode, const std::string& request) {
+  std::lock_guard<std::mutex> lock(parents_mu_);
+  for (auto& [target, client] : parents_) {
+    if (!client) {
+      net::ClientOptions options;
+      options.link = target.link;
+      if (!net::RpcClient::Connect(network_, target.address, options, &client).ok()) {
+        RLS_WARN("rli") << config_.url << ": cannot reach parent RLI " << target.address;
+        continue;
+      }
+    }
+    std::string response;
+    Status s = client->Call(opcode, request, &response);
+    if (!s.ok()) {
+      RLS_WARN("rli") << config_.url << ": forward to " << target.address
+                      << " failed: " << s.ToString();
+      client.reset();  // reconnect next time
+    }
+  }
+}
+
+}  // namespace rls

@@ -1,0 +1,143 @@
+// The common LRC/RLI server (paper §3.1: "our implementation consists of
+// a common server that can be configured as an LRC, an RLI or both").
+//
+// The server owns:
+//   * an LrcStore (LRC role) over the configured DSN, plus an
+//     UpdateManager sending soft-state updates to its RLIs;
+//   * an RliRelationalStore (RLI role, uncompressed updates) and/or an
+//     RliBloomStore (RLI role, compressed updates) plus an expire thread
+//     discarding soft state older than the timeout (§3.2);
+//   * a gsi::AuthManager enforcing per-operation ACLs (§3.1);
+//   * optional parent RLIs for hierarchical RLI->RLI forwarding (the
+//     "hierarchy of RLI servers" of §7, Ongoing Work).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+#include "common/histogram.h"
+#include "dbapi/dbapi.h"
+#include "gsi/gsi.h"
+#include "net/rpc.h"
+#include "rls/lrc_store.h"
+#include "rls/protocol.h"
+#include "rls/rli_store.h"
+#include "rls/update_manager.h"
+
+namespace rls {
+
+struct RliRoleConfig {
+  bool enabled = false;
+  /// DSN of the relational store for uncompressed updates. Empty =
+  /// Bloom-only RLI (no database — paper §3.4).
+  std::string dsn;
+  /// Accept Bloom updates into the in-memory store.
+  bool accept_bloom = true;
+  /// Soft state older than this is discarded (0 = never expires).
+  std::chrono::seconds timeout{0};
+  /// Expire thread wake-up period.
+  std::chrono::milliseconds expire_poll{500};
+  /// Parent RLIs to forward received updates to (hierarchical mode).
+  std::vector<UpdateTarget> parents;
+};
+
+struct LrcRoleConfig {
+  bool enabled = false;
+  std::string dsn;
+  UpdateConfig update;
+};
+
+struct RlsServerConfig {
+  std::string address;        // net::Network listen address
+  std::string url;            // identity in soft-state updates; default address
+  LrcRoleConfig lrc;
+  RliRoleConfig rli;
+  gsi::AuthManager auth = gsi::AuthManager::Open();
+};
+
+class RlsServer {
+ public:
+  RlsServer(net::Network* network, RlsServerConfig config,
+            dbapi::Environment* env = &dbapi::Environment::Global(),
+            rlscommon::Clock* clock = rlscommon::SystemClock::Instance());
+  ~RlsServer();
+
+  RlsServer(const RlsServer&) = delete;
+  RlsServer& operator=(const RlsServer&) = delete;
+
+  /// Creates stores (the DSNs must already be registered in the
+  /// environment), starts the RPC server and background threads.
+  rlscommon::Status Start();
+  void Stop();
+
+  const std::string& url() const { return config_.url; }
+  const std::string& address() const { return config_.address; }
+
+  /// Direct access for tests, benches and the update machinery.
+  LrcStore* lrc_store() { return lrc_store_.get(); }
+  RliRelationalStore* rli_relational() { return rli_relational_.get(); }
+  RliBloomStore* rli_bloom() { return rli_bloom_.get(); }
+  UpdateManager* update_manager() { return update_manager_.get(); }
+
+  ServerStats Stats() const;
+
+  /// Per-operation-family latency histograms (monitoring).
+  MetricsResponse Metrics() const;
+
+  /// Runs one expiration round immediately (tests drive this instead of
+  /// waiting for the expire thread).
+  void ExpireNow();
+
+ private:
+  rlscommon::Status Handle(const gsi::AuthContext& auth, uint16_t opcode,
+                           const std::string& request, std::string* response);
+  rlscommon::Status Dispatch(const gsi::AuthContext& auth, uint16_t opcode,
+                             const std::string& request, std::string* response);
+
+  rlscommon::Status HandleLrc(const gsi::AuthContext& auth, uint16_t opcode,
+                              const std::string& request, std::string* response);
+  rlscommon::Status HandleRli(const gsi::AuthContext& auth, uint16_t opcode,
+                              const std::string& request, std::string* response);
+  rlscommon::Status HandleSoftState(const gsi::AuthContext& auth, uint16_t opcode,
+                                    const std::string& request, std::string* response);
+
+  void ForwardToParents(uint16_t opcode, const std::string& request);
+  void ExpireLoop();
+
+  net::Network* network_;
+  RlsServerConfig config_;
+  dbapi::Environment* env_;
+  rlscommon::Clock* clock_;
+
+  std::unique_ptr<LrcStore> lrc_store_;
+  std::unique_ptr<RliRelationalStore> rli_relational_;
+  std::unique_ptr<RliBloomStore> rli_bloom_;
+  std::unique_ptr<UpdateManager> update_manager_;
+  std::unique_ptr<net::RpcServer> rpc_server_;
+
+  // Parent forwarding clients (hierarchical RLI).
+  std::mutex parents_mu_;
+  std::vector<std::pair<UpdateTarget, std::unique_ptr<net::RpcClient>>> parents_;
+
+  std::atomic<uint64_t> updates_received_{0};
+  std::atomic<uint64_t> expired_entries_{0};
+
+  // Service-time histograms per operation family.
+  rlscommon::LatencyHistogram lrc_read_latency_;
+  rlscommon::LatencyHistogram lrc_write_latency_;
+  rlscommon::LatencyHistogram rli_query_latency_;
+  rlscommon::LatencyHistogram soft_state_latency_;
+
+  std::mutex expire_mu_;
+  std::condition_variable expire_cv_;
+  std::thread expire_thread_;
+  bool running_ = false;
+};
+
+}  // namespace rls

@@ -1,0 +1,378 @@
+#include "rls/update_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "rls/protocol.h"
+
+namespace rls {
+
+using rlscommon::Status;
+
+std::string_view UpdateModeName(UpdateMode mode) {
+  switch (mode) {
+    case UpdateMode::kNone: return "none";
+    case UpdateMode::kFull: return "full";
+    case UpdateMode::kImmediate: return "immediate";
+    case UpdateMode::kBloom: return "bloom";
+    case UpdateMode::kPartitioned: return "partitioned";
+  }
+  return "?";
+}
+
+UpdateManager::UpdateManager(net::Network* network, LrcStore* store,
+                             std::string lrc_url, UpdateConfig config,
+                             rlscommon::Clock* clock)
+    : network_(network),
+      store_(store),
+      lrc_url_(std::move(lrc_url)),
+      config_(std::move(config)),
+      clock_(clock) {
+  for (const UpdateTarget& target : config_.targets) {
+    targets_.push_back(TargetState{target, nullptr});
+  }
+}
+
+UpdateManager::~UpdateManager() { Stop(); }
+
+void UpdateManager::Start() {
+  std::lock_guard<std::mutex> lock(scheduler_mu_);
+  if (running_ || config_.mode == UpdateMode::kNone) return;
+  running_ = true;
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+void UpdateManager::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(scheduler_mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  scheduler_cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+void UpdateManager::OnMappingChange(const std::string& lfn, bool added) {
+  if (config_.mode == UpdateMode::kNone) return;
+
+  if (config_.mode == UpdateMode::kBloom) {
+    std::lock_guard<std::mutex> lock(bloom_mu_);
+    if (bloom_built_) {
+      // "subsequent updates to LRC mappings can be reflected by setting
+      // or unsetting the corresponding bits" (paper §5.5) — sound here
+      // because the LRC keeps counters.
+      if (added) {
+        counting_.Insert(lfn);
+      } else {
+        counting_.Remove(lfn);
+      }
+    }
+    return;
+  }
+
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    int& state = pending_[lfn];
+    state += added ? 1 : -1;
+    if (state == 0) {
+      pending_.erase(lfn);
+      if (pending_count_ > 0) --pending_count_;
+    } else {
+      ++pending_count_;
+    }
+    flush = config_.mode == UpdateMode::kImmediate &&
+            pending_count_ >= config_.immediate_max_pending;
+  }
+  if (flush) scheduler_cv_.notify_all();
+}
+
+void UpdateManager::AddTarget(UpdateTarget target) {
+  std::lock_guard<std::mutex> lock(targets_mu_);
+  for (const TargetState& state : targets_) {
+    if (state.target.address == target.address) return;
+  }
+  targets_.push_back(TargetState{std::move(target), nullptr});
+}
+
+void UpdateManager::RemoveTarget(const std::string& address) {
+  std::lock_guard<std::mutex> lock(targets_mu_);
+  std::erase_if(targets_, [&](const TargetState& state) {
+    return state.target.address == address;
+  });
+}
+
+Status UpdateManager::ClientFor(TargetState* state, net::RpcClient** out) {
+  if (!state->client) {
+    net::ClientOptions options;
+    options.credential = config_.credential;
+    options.link = state->target.link;
+    Status s = net::RpcClient::Connect(network_, state->target.address, options,
+                                       &state->client);
+    if (!s.ok()) return s;
+  }
+  *out = state->client.get();
+  return Status::Ok();
+}
+
+Status UpdateManager::ForceFullUpdate() {
+  if (config_.mode == UpdateMode::kNone) {
+    return Status::InvalidArgument("LRC has no update mode configured");
+  }
+  rlscommon::Stopwatch watch(clock_);
+  Status status = Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(targets_mu_);
+    for (TargetState& state : targets_) {
+      Status s;
+      switch (config_.mode) {
+        case UpdateMode::kNone:
+          return Status::InvalidArgument("LRC has no update mode configured");
+        case UpdateMode::kBloom:
+          s = SendBloom(&state);
+          break;
+        case UpdateMode::kPartitioned:
+          s = SendFullUncompressed(
+              &state, state.target.patterns.empty() ? nullptr : &state.target.patterns);
+          break;
+        case UpdateMode::kFull:
+        case UpdateMode::kImmediate:
+          s = SendFullUncompressed(&state, nullptr);
+          break;
+      }
+      if (!s.ok() && status.ok()) status = s;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.last_update_seconds = watch.ElapsedSeconds();
+  }
+  // A full update supersedes any pending incremental state.
+  if (config_.mode != UpdateMode::kBloom) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.clear();
+    pending_count_ = 0;
+  }
+  return status;
+}
+
+Status UpdateManager::FlushImmediate() {
+  if (config_.mode == UpdateMode::kBloom) {
+    // Bloom mode's "incremental" flush is simply resending the filter.
+    return ForceFullUpdate();
+  }
+  std::vector<std::string> added, removed;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (const auto& [lfn, state] : pending_) {
+      if (state > 0) {
+        added.push_back(lfn);
+      } else if (state < 0) {
+        removed.push_back(lfn);
+      }
+    }
+    pending_.clear();
+    pending_count_ = 0;
+  }
+  if (added.empty() && removed.empty()) return Status::Ok();
+
+  Status status = Status::Ok();
+  std::lock_guard<std::mutex> lock(targets_mu_);
+  for (TargetState& state : targets_) {
+    std::vector<std::string> target_added = added;
+    std::vector<std::string> target_removed = removed;
+    if (!state.target.patterns.empty()) {
+      auto matches = [&](const std::string& name) {
+        for (const std::string& pattern : state.target.patterns) {
+          if (rlscommon::WildcardMatch(pattern, name)) return true;
+        }
+        return false;
+      };
+      std::erase_if(target_added, [&](const std::string& n) { return !matches(n); });
+      std::erase_if(target_removed, [&](const std::string& n) { return !matches(n); });
+      if (target_added.empty() && target_removed.empty()) continue;
+    }
+    Status s = SendIncremental(&state, target_added, target_removed);
+    if (!s.ok() && status.ok()) status = s;
+  }
+  return status;
+}
+
+Status UpdateManager::RebuildBloomFilter() {
+  rlscommon::Stopwatch watch(clock_);
+  uint64_t expected = config_.bloom_expected_entries;
+  if (expected == 0) expected = std::max<uint64_t>(store_->LogicalNameCount(), 1024);
+  bloom::CountingBloomFilter fresh =
+      bloom::CountingBloomFilter::ForEntries(expected);
+  Status s = store_->ForEachLogicalName(
+      config_.chunk_size, [&](const std::vector<std::string>& names) {
+        for (const std::string& name : names) fresh.Insert(name);
+      });
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> lock(bloom_mu_);
+    counting_ = std::move(fresh);
+    bloom_built_ = true;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.last_bloom_generate_seconds = watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+Status UpdateManager::SendFullUncompressed(TargetState* state,
+                                           const std::vector<std::string>* patterns) {
+  net::RpcClient* client = nullptr;
+  Status s = ClientFor(state, &client);
+  if (!s.ok()) return s;
+
+  const uint64_t update_id = next_update_id_.fetch_add(1);
+  const uint64_t total = store_->LogicalNameCount();
+
+  std::string payload, response;
+  FullUpdateBegin begin{lrc_url_, update_id, total};
+  begin.Encode(&payload);
+  s = client->Call(kSsFullBegin, payload, &response);
+  if (!s.ok()) return s;
+
+  uint64_t names_sent = 0;
+  Status send_status = Status::Ok();
+  s = store_->ForEachLogicalName(
+      config_.chunk_size, [&](const std::vector<std::string>& names) {
+        if (!send_status.ok()) return;
+        FullUpdateChunk chunk;
+        chunk.lrc_url = lrc_url_;
+        chunk.update_id = update_id;
+        if (patterns) {
+          for (const std::string& name : names) {
+            for (const std::string& pattern : *patterns) {
+              if (rlscommon::WildcardMatch(pattern, name)) {
+                chunk.names.push_back(name);
+                break;
+              }
+            }
+          }
+          if (chunk.names.empty()) return;
+        } else {
+          chunk.names = names;
+        }
+        std::string chunk_payload, chunk_response;
+        chunk.Encode(&chunk_payload);
+        send_status = client->Call(kSsFullChunk, chunk_payload, &chunk_response);
+        names_sent += chunk.names.size();
+      });
+  if (!s.ok()) return s;
+  if (!send_status.ok()) return send_status;
+
+  payload.clear();
+  FullUpdateEnd end{lrc_url_, update_id};
+  end.Encode(&payload);
+  s = client->Call(kSsFullEnd, payload, &response);
+  if (!s.ok()) return s;
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.full_updates_sent;
+  stats_.names_sent += names_sent;
+  stats_.bytes_sent = client->bytes_sent();
+  return Status::Ok();
+}
+
+Status UpdateManager::SendBloom(TargetState* state) {
+  bool needs_build;
+  {
+    std::lock_guard<std::mutex> lock(bloom_mu_);
+    needs_build = !bloom_built_;
+  }
+  if (needs_build) {
+    // The first update pays the one-time filter generation cost the paper
+    // reports in Table 3 column 3.
+    Status s = RebuildBloomFilter();
+    if (!s.ok()) return s;
+  }
+
+  BloomUpdate update;
+  update.lrc_url = lrc_url_;
+  {
+    std::lock_guard<std::mutex> lock(bloom_mu_);
+    bloom::BloomFilter snapshot = counting_.ToBloomFilter();
+    snapshot.Serialize(&update.filter_bytes);
+  }
+
+  net::RpcClient* client = nullptr;
+  Status s = ClientFor(state, &client);
+  if (!s.ok()) return s;
+  std::string payload, response;
+  update.Encode(&payload);
+  s = client->Call(kSsBloom, payload, &response);
+  if (!s.ok()) return s;
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.bloom_updates_sent;
+  stats_.bytes_sent = client->bytes_sent();
+  return Status::Ok();
+}
+
+Status UpdateManager::SendIncremental(TargetState* state,
+                                      const std::vector<std::string>& added,
+                                      const std::vector<std::string>& removed) {
+  net::RpcClient* client = nullptr;
+  Status s = ClientFor(state, &client);
+  if (!s.ok()) return s;
+  IncrementalUpdate update;
+  update.lrc_url = lrc_url_;
+  update.added = added;
+  update.removed = removed;
+  std::string payload, response;
+  update.Encode(&payload);
+  s = client->Call(kSsIncremental, payload, &response);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.incremental_updates_sent;
+  stats_.names_sent += added.size() + removed.size();
+  stats_.bytes_sent = client->bytes_sent();
+  return Status::Ok();
+}
+
+UpdateStats UpdateManager::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void UpdateManager::SchedulerLoop() {
+  auto last_full = std::chrono::steady_clock::now();
+  auto last_immediate = last_full;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(scheduler_mu_);
+      scheduler_cv_.wait_for(lock, std::chrono::milliseconds(50),
+                             [this] { return !running_; });
+      if (!running_) return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+
+    if (config_.full_interval.count() > 0 && now - last_full >= config_.full_interval) {
+      last_full = now;
+      Status s = ForceFullUpdate();
+      if (!s.ok()) RLS_WARN("update") << lrc_url_ << " full update failed: " << s.ToString();
+    }
+
+    if (config_.mode == UpdateMode::kImmediate) {
+      bool due;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        due = pending_count_ >= config_.immediate_max_pending ||
+              (pending_count_ > 0 &&
+               now - last_immediate >= config_.immediate_interval);
+      }
+      if (due) {
+        last_immediate = now;
+        Status s = FlushImmediate();
+        if (!s.ok()) {
+          RLS_WARN("update") << lrc_url_ << " incremental update failed: " << s.ToString();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace rls

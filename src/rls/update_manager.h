@@ -1,0 +1,167 @@
+// Soft-state update machinery on the LRC side (paper §3.2–3.5).
+//
+// Four update types, selectable per LRC:
+//   * kFull        — periodic uncompressed updates listing every logical
+//                    name in the LRC.
+//   * kImmediate   — infrequent full updates plus frequent incremental
+//                    updates carrying recent changes, sent after a short
+//                    interval (default 30 s) or after a configurable
+//                    number of pending changes (§3.3).
+//   * kBloom       — Bloom-filter-compressed updates (§3.4): the LRC
+//                    maintains a counting filter so deletions can unset
+//                    bits, and ships the plain bitmap.
+//   * kPartitioned — uncompressed updates partitioned by glob patterns on
+//                    the logical namespace; each RLI receives only its
+//                    subset (§3.5).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "common/clock.h"
+#include "common/error.h"
+#include "net/rpc.h"
+#include "rls/lrc_store.h"
+
+namespace rls {
+
+enum class UpdateMode { kNone, kFull, kImmediate, kBloom, kPartitioned };
+
+std::string_view UpdateModeName(UpdateMode mode);
+
+/// One RLI this LRC updates.
+struct UpdateTarget {
+  std::string address;                        // net::Network address
+  net::LinkModel link = net::LinkModel::Loopback();
+  std::vector<std::string> patterns;          // partitioned mode: globs
+};
+
+struct UpdateConfig {
+  UpdateMode mode = UpdateMode::kNone;
+  std::vector<UpdateTarget> targets;
+
+  /// Full updates are resent every `full_interval` (0 = manual only).
+  std::chrono::milliseconds full_interval{0};
+  /// Immediate mode: incremental update after this long with pending
+  /// changes (paper default: 30 seconds)...
+  std::chrono::milliseconds immediate_interval{30000};
+  /// ...or as soon as this many changes are pending.
+  std::size_t immediate_max_pending = 100;
+
+  /// Names per kSsFullChunk message.
+  std::size_t chunk_size = 10000;
+
+  /// Sizing hint for the Bloom filter (10 bits/entry policy). 0 = size
+  /// from the store's current count at first build.
+  uint64_t bloom_expected_entries = 0;
+
+  /// Credential presented to RLIs.
+  gsi::Credential credential;
+};
+
+/// Statistics for EXPERIMENTS.md tables (Table 3 columns).
+struct UpdateStats {
+  uint64_t full_updates_sent = 0;
+  uint64_t incremental_updates_sent = 0;
+  uint64_t bloom_updates_sent = 0;
+  uint64_t names_sent = 0;
+  uint64_t bytes_sent = 0;
+  double last_update_seconds = 0;        // paper: "measured from the LRC's perspective"
+  double last_bloom_generate_seconds = 0;
+};
+
+class UpdateManager {
+ public:
+  UpdateManager(net::Network* network, LrcStore* store, std::string lrc_url,
+                UpdateConfig config,
+                rlscommon::Clock* clock = rlscommon::SystemClock::Instance());
+  ~UpdateManager();
+
+  UpdateManager(const UpdateManager&) = delete;
+  UpdateManager& operator=(const UpdateManager&) = delete;
+
+  /// Starts the background scheduler (periodic full + immediate flushes).
+  void Start();
+  void Stop();
+
+  /// Store observer hook: a logical name appeared or disappeared.
+  void OnMappingChange(const std::string& lfn, bool added);
+
+  /// Adds/removes an update target at runtime (the kLrcRliAdd/Remove
+  /// management operations).
+  void AddTarget(UpdateTarget target);
+  void RemoveTarget(const std::string& address);
+
+  /// Sends one full update round now (mode-dependent payload). Blocks
+  /// until every target acknowledged; the elapsed time lands in stats.
+  rlscommon::Status ForceFullUpdate();
+
+  /// Sends pending incremental changes now (immediate/bloom bookkeeping
+  /// is flushed too). No-op when nothing is pending.
+  rlscommon::Status FlushImmediate();
+
+  /// (Re)builds the Bloom filter from the store — the one-time cost the
+  /// paper reports in Table 3 column 3.
+  rlscommon::Status RebuildBloomFilter();
+
+  UpdateStats stats() const;
+
+  const std::string& lrc_url() const { return lrc_url_; }
+  UpdateMode mode() const { return config_.mode; }
+
+ private:
+  struct TargetState {
+    UpdateTarget target;
+    std::unique_ptr<net::RpcClient> client;
+  };
+
+  /// Lazily connects to a target.
+  rlscommon::Status ClientFor(TargetState* state, net::RpcClient** out);
+
+  rlscommon::Status SendFullUncompressed(TargetState* state,
+                                         const std::vector<std::string>* patterns);
+  rlscommon::Status SendBloom(TargetState* state);
+  rlscommon::Status SendIncremental(TargetState* state,
+                                    const std::vector<std::string>& added,
+                                    const std::vector<std::string>& removed);
+
+  void SchedulerLoop();
+
+  net::Network* network_;
+  LrcStore* store_;
+  std::string lrc_url_;
+  UpdateConfig config_;
+  rlscommon::Clock* clock_;
+
+  std::mutex targets_mu_;
+  std::vector<TargetState> targets_;
+
+  // Pending incremental changes; +1 = added, -1 = removed, 0 = cancelled.
+  std::mutex pending_mu_;
+  std::unordered_map<std::string, int> pending_;
+  std::size_t pending_count_ = 0;
+
+  // Counting Bloom filter mirroring the store (bloom mode).
+  std::mutex bloom_mu_;
+  bloom::CountingBloomFilter counting_;
+  bool bloom_built_ = false;
+
+  mutable std::mutex stats_mu_;
+  UpdateStats stats_;
+  std::atomic<uint64_t> next_update_id_{1};
+
+  std::mutex scheduler_mu_;
+  std::condition_variable scheduler_cv_;
+  std::thread scheduler_;
+  bool running_ = false;
+};
+
+}  // namespace rls

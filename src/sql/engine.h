@@ -1,0 +1,71 @@
+// SQL execution engine: binds parsed statements to an rdb::Database.
+//
+// Planning is deliberately simple and deterministic, in the spirit of the
+// hand-tuned SQL the 2004 RLS issued through ODBC:
+//   * the first FROM table drives; an equality WHERE predicate with a hash
+//     index (or a </<= predicate with an ordered index) selects the access
+//     path, otherwise the table is scanned;
+//   * joins are left-deep nested loops in FROM-clause order, probing the
+//     inner table's hash index on the join column when one exists.
+// The RLS schema indexes every join/lookup column, so all hot queries run
+// index-to-index.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "rdb/database.h"
+#include "sql/ast.h"
+#include "sql/result_set.h"
+#include "sql/session.h"
+
+namespace sql {
+
+class Engine {
+ public:
+  explicit Engine(rdb::Database* db) : db_(db) {}
+
+  /// Executes a parsed statement with positional parameters.
+  /// Autocommits unless `session` has an open transaction.
+  rlscommon::Status Execute(const Statement& stmt,
+                            const std::vector<rdb::Value>& params,
+                            Session* session, ResultSet* result);
+
+  /// Parses and executes in one step (convenience for tests/examples).
+  rlscommon::Status ExecuteSql(std::string_view text,
+                               const std::vector<rdb::Value>& params,
+                               Session* session, ResultSet* result);
+
+  rdb::Database* database() { return db_; }
+
+ private:
+  rlscommon::Status ExecSelect(const SelectStmt& stmt,
+                               const std::vector<rdb::Value>& params,
+                               ResultSet* result);
+  rlscommon::Status ExecInsert(const InsertStmt& stmt,
+                               const std::vector<rdb::Value>& params,
+                               Session* session, ResultSet* result);
+  rlscommon::Status ExecUpdate(const UpdateStmt& stmt,
+                               const std::vector<rdb::Value>& params,
+                               Session* session, ResultSet* result);
+  rlscommon::Status ExecDelete(const DeleteStmt& stmt,
+                               const std::vector<rdb::Value>& params,
+                               Session* session, ResultSet* result);
+  rlscommon::Status ExecCreateTable(const CreateTableStmt& stmt);
+  rlscommon::Status ExecCreateIndex(const CreateIndexStmt& stmt);
+  rlscommon::Status ExecTxn(const TxnStmt& stmt, Session* session);
+  rlscommon::Status ExecExplain(const ExplainStmt& stmt,
+                                const std::vector<rdb::Value>& params,
+                                ResultSet* result);
+
+  /// Commits the session's WAL buffer (autocommit or explicit COMMIT).
+  rlscommon::Status CommitWal(Session* session);
+
+  /// Applies the undo log in reverse (ROLLBACK / failed statement).
+  rlscommon::Status ApplyUndo(Session* session, std::size_t down_to);
+
+  rdb::Database* db_;
+};
+
+}  // namespace sql

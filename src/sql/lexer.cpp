@@ -1,0 +1,122 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sql {
+
+using rlscommon::Status;
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  if (kind != TokenKind::kIdent || text.size() != keyword.size()) return false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status Tokenize(std::string_view input, std::vector<Token>* out) {
+  out->clear();
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tok.kind = TokenKind::kIdent;
+      tok.text = std::string(input.substr(start, i - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      std::size_t start = i;
+      if (c == '-') ++i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+                       ((input[i] == '+' || input[i] == '-') && i > start &&
+                        (input[i - 1] == 'e' || input[i - 1] == 'E')))) {
+        if (input[i] == '.' || input[i] == 'e' || input[i] == 'E') is_float = true;
+        ++i;
+      }
+      std::string text(input.substr(start, i - start));
+      if (is_float) {
+        tok.kind = TokenKind::kFloat;
+        tok.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInt;
+        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tok.text = std::move(text);
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(tok.offset));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(value);
+    } else if (c == '?') {
+      tok.kind = TokenKind::kParam;
+      tok.text = "?";
+      ++i;
+    } else {
+      // One- and two-character symbols.
+      static constexpr std::string_view kTwoChar[] = {"<=", ">=", "!=", "<>"};
+      std::string sym(1, c);
+      if (i + 1 < n) {
+        std::string two = {c, input[i + 1]};
+        for (std::string_view t : kTwoChar) {
+          if (two == t) {
+            sym = two;
+            break;
+          }
+        }
+      }
+      static constexpr std::string_view kSingles = "()=<>,.*+-/;";
+      if (sym.size() == 1 && kSingles.find(c) == std::string_view::npos) {
+        return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                       "' at offset " + std::to_string(i));
+      }
+      tok.kind = TokenKind::kSymbol;
+      tok.text = sym;
+      i += sym.size();
+    }
+    out->push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  out->push_back(std::move(end));
+  return Status::Ok();
+}
+
+}  // namespace sql

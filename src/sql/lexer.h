@@ -1,0 +1,38 @@
+// SQL lexer for the subset the RLS issues against its back ends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sql {
+
+enum class TokenKind : uint8_t {
+  kIdent,    // unquoted identifier (table/column names, keywords)
+  kString,   // 'quoted literal' ('' escapes a quote)
+  kInt,      // integer literal
+  kFloat,    // floating-point literal
+  kSymbol,   // punctuation / operator, text holds it ("(", ">=", ...)
+  kParam,    // '?' placeholder
+  kEnd,      // end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier/symbol text or string value
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  std::size_t offset = 0; // byte offset for error messages
+
+  /// Case-insensitive keyword test for identifiers.
+  bool IsKeyword(std::string_view keyword) const;
+};
+
+/// Tokenizes `input`. Returns InvalidArgument with position info on
+/// malformed input (unterminated string, stray character).
+rlscommon::Status Tokenize(std::string_view input, std::vector<Token>* out);
+
+}  // namespace sql

@@ -1,0 +1,16 @@
+// Recursive-descent parser for the SQL subset (see ast.h).
+#pragma once
+
+#include <string_view>
+
+#include "common/error.h"
+#include "sql/ast.h"
+
+namespace sql {
+
+/// Parses a single statement (an optional trailing ';' is allowed).
+/// On success fills `out`; on failure returns InvalidArgument with a
+/// message pointing at the offending token.
+rlscommon::Status Parse(std::string_view text, Statement* out);
+
+}  // namespace sql

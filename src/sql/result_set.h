@@ -1,0 +1,27 @@
+// Result of executing a SQL statement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdb/schema.h"
+
+namespace sql {
+
+struct ResultSet {
+  std::vector<std::string> columns;  // projection names ("t_pfn.name")
+  std::vector<rdb::Row> rows;
+  uint64_t affected = 0;       // rows inserted/updated/deleted
+  int64_t last_insert_id = 0;  // auto-increment id of the last INSERT
+
+  bool empty() const { return rows.empty(); }
+  std::size_t size() const { return rows.size(); }
+
+  /// Convenience accessors (bounds-checked via at()).
+  const rdb::Value& at(std::size_t row, std::size_t col) const {
+    return rows.at(row).at(col);
+  }
+};
+
+}  // namespace sql

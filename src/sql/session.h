@@ -1,0 +1,48 @@
+// Per-connection execution state: transaction flag, undo log and the
+// WAL buffer for the open transaction.
+//
+// Transactions provide atomicity via an undo log (rollback re-applies
+// inverse operations). Isolation is statement-level: locks are held per
+// statement, not to commit — matching the loose consistency the paper
+// accepts when the durable flush is disabled (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdb/heap.h"
+#include "rdb/schema.h"
+
+namespace sql {
+
+// Undo records are VALUE-based, not rid-based: later operations in the
+// same transaction (e.g. deleting a row that an earlier statement
+// updated) relocate rows, so rollback locates rows by content — applied
+// strictly LIFO, each inverse acts on the state its forward op produced.
+struct UndoRecord {
+  enum class Kind { kInsert, kDelete, kUpdate };
+  Kind kind = Kind::kInsert;
+  std::string table;
+  rdb::Row row;       // insert/update: the image the forward op wrote
+  rdb::Row old_row;   // delete/update: the image to restore
+};
+
+class Session {
+ public:
+  bool in_transaction() const { return in_txn_; }
+  int64_t last_insert_id() const { return last_insert_id_; }
+
+  /// Number of pending undo records (tests).
+  std::size_t pending_undo() const { return undo_.size(); }
+
+ private:
+  friend class Engine;
+
+  bool in_txn_ = false;
+  std::vector<UndoRecord> undo_;
+  std::string wal_buffer_;
+  int64_t last_insert_id_ = 0;
+};
+
+}  // namespace sql

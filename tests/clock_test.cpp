@@ -1,0 +1,55 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace rlscommon {
+namespace {
+
+TEST(SystemClockTest, MonotonicAdvance) {
+  SystemClock* clock = SystemClock::Instance();
+  TimePoint a = clock->Now();
+  clock->SleepFor(std::chrono::milliseconds(5));
+  TimePoint b = clock->Now();
+  EXPECT_GE(b - a, std::chrono::milliseconds(4));
+}
+
+TEST(ManualClockTest, NowReflectsAdvance) {
+  ManualClock clock;
+  TimePoint start = clock.Now();
+  clock.Advance(std::chrono::seconds(10));
+  EXPECT_EQ(clock.Now() - start, std::chrono::seconds(10));
+}
+
+TEST(ManualClockTest, SleeperWakesWhenAdvanced) {
+  ManualClock clock;
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    clock.SleepFor(std::chrono::seconds(5));
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  clock.Advance(std::chrono::seconds(5));
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(ManualClockTest, ZeroSleepReturnsImmediately) {
+  ManualClock clock;
+  clock.SleepFor(Duration::zero());  // must not block
+  clock.SleepFor(Duration(-1));
+}
+
+TEST(StopwatchTest, MeasuresManualClock) {
+  ManualClock clock;
+  Stopwatch watch(&clock);
+  clock.Advance(std::chrono::milliseconds(1500));
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 1.5);
+  watch.Reset();
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace rlscommon

@@ -1,0 +1,76 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace rlscommon {
+namespace {
+
+TEST(ConfigTest, ParsesKeyValueStyles) {
+  Config config;
+  ASSERT_TRUE(Config::ParseString("a 1\nb: two\nc=3.5\n", &config).ok());
+  EXPECT_EQ(config.GetInt("a", 0), 1);
+  EXPECT_EQ(config.GetString("b", ""), "two");
+  EXPECT_DOUBLE_EQ(config.GetDouble("c", 0.0), 3.5);
+}
+
+TEST(ConfigTest, SkipsCommentsAndBlanks) {
+  Config config;
+  ASSERT_TRUE(Config::ParseString("# comment\n\n  \nkey value\n", &config).ok());
+  EXPECT_EQ(config.size(), 1u);
+}
+
+TEST(ConfigTest, LastWriterWins) {
+  Config config;
+  ASSERT_TRUE(Config::ParseString("x 1\nx 2\n", &config).ok());
+  EXPECT_EQ(config.GetInt("x", 0), 2);
+}
+
+TEST(ConfigTest, GetAllPreservesOrder) {
+  Config config;
+  ASSERT_TRUE(Config::ParseString("acl a: read\nacl b: write\n", &config).ok());
+  auto all = config.GetAll("acl");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "a: read");
+  EXPECT_EQ(all[1], "b: write");
+}
+
+TEST(ConfigTest, BooleanForms) {
+  Config config;
+  ASSERT_TRUE(
+      Config::ParseString("t1 true\nt2 on\nt3 yes\nt4 1\nf1 false\nf2 off\n", &config)
+          .ok());
+  EXPECT_TRUE(config.GetBool("t1", false));
+  EXPECT_TRUE(config.GetBool("t2", false));
+  EXPECT_TRUE(config.GetBool("t3", false));
+  EXPECT_TRUE(config.GetBool("t4", false));
+  EXPECT_FALSE(config.GetBool("f1", true));
+  EXPECT_FALSE(config.GetBool("f2", true));
+}
+
+TEST(ConfigTest, MissingKeyUsesDefault) {
+  Config config;
+  EXPECT_EQ(config.GetInt("absent", 42), 42);
+  EXPECT_EQ(config.GetString("absent", "d"), "d");
+  EXPECT_FALSE(config.Has("absent"));
+}
+
+TEST(ConfigTest, MalformedValueFallsBackToDefault) {
+  Config config;
+  ASSERT_TRUE(Config::ParseString("n notanumber\n", &config).ok());
+  EXPECT_EQ(config.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(config.GetDouble("n", 1.5), 1.5);
+}
+
+TEST(ConfigTest, RejectsKeyWithoutValue) {
+  Config config;
+  EXPECT_FALSE(Config::ParseString("orphankey\n", &config).ok());
+}
+
+TEST(ConfigTest, MissingFileIsNotFound) {
+  Config config;
+  auto s = Config::ParseFile("/nonexistent/rls.conf", &config);
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rlscommon

@@ -1,0 +1,110 @@
+#include "gsi/gsi.h"
+
+#include <gtest/gtest.h>
+
+namespace gsi {
+namespace {
+
+using rlscommon::ErrorCode;
+
+TEST(PrivilegeTest, NamesRoundTrip) {
+  EXPECT_EQ(PrivilegeName(Privilege::kLrcRead), "lrc_read");
+  EXPECT_EQ(ParsePrivilege("lrc_write"), Privilege::kLrcWrite);
+  EXPECT_EQ(ParsePrivilege("rli_read"), Privilege::kRliRead);
+  EXPECT_EQ(ParsePrivilege("bogus"), std::nullopt);
+}
+
+TEST(GridmapTest, ParsesEntries) {
+  Gridmap gridmap;
+  ASSERT_TRUE(Gridmap::Parse(
+                  "# comment\n"
+                  "\"/DC=org/DC=Grid/CN=Ann Chervenak\" annc\n"
+                  "\"/DC=org/DC=Grid/CN=.*\" griduser\n",
+                  &gridmap)
+                  .ok());
+  EXPECT_EQ(gridmap.size(), 2u);
+  EXPECT_EQ(gridmap.MapToLocal("/DC=org/DC=Grid/CN=Ann Chervenak"), "annc");
+  // First match wins; the catch-all covers other members.
+  EXPECT_EQ(gridmap.MapToLocal("/DC=org/DC=Grid/CN=Someone Else"), "griduser");
+  EXPECT_EQ(gridmap.MapToLocal("/DC=com/CN=Outsider"), std::nullopt);
+}
+
+TEST(GridmapTest, RejectsMalformedLines) {
+  Gridmap gridmap;
+  EXPECT_FALSE(Gridmap::Parse("/CN=NoQuotes user\n", &gridmap).ok());
+  EXPECT_FALSE(Gridmap::Parse("\"/CN=Unterminated user\n", &gridmap).ok());
+  EXPECT_FALSE(Gridmap::Parse("\"/CN=NoUser\"\n", &gridmap).ok());
+  EXPECT_FALSE(Gridmap::Parse("\"(bad[regex\" user\n", &gridmap).ok());
+}
+
+TEST(AclTest, GrantsByDnOrLocalUser) {
+  Acl acl;
+  ASSERT_TRUE(acl.AddEntry("/DC=org/.*", {Privilege::kLrcRead}).ok());
+  ASSERT_TRUE(acl.AddEntry("annc", {Privilege::kLrcWrite, Privilege::kAdmin}).ok());
+  EXPECT_TRUE(acl.IsAuthorized("/DC=org/CN=X", "", Privilege::kLrcRead));
+  EXPECT_FALSE(acl.IsAuthorized("/DC=org/CN=X", "", Privilege::kLrcWrite));
+  EXPECT_TRUE(acl.IsAuthorized("/DC=other/CN=Y", "annc", Privilege::kLrcWrite));
+  EXPECT_TRUE(acl.IsAuthorized("", "annc", Privilege::kAdmin));
+  EXPECT_FALSE(acl.IsAuthorized("", "bob", Privilege::kAdmin));
+}
+
+TEST(AclTest, ConfigFileEntryFormat) {
+  Acl acl;
+  ASSERT_TRUE(acl.AddEntryFromString("/DC=org/.*: lrc_read, lrc_write").ok());
+  EXPECT_TRUE(acl.IsAuthorized("/DC=org/CN=Z", "", Privilege::kLrcWrite));
+  EXPECT_FALSE(acl.AddEntryFromString("pattern-without-privs").ok());
+  EXPECT_FALSE(acl.AddEntryFromString("p: not_a_privilege").ok());
+  EXPECT_FALSE(acl.AddEntryFromString("p:").ok());
+}
+
+TEST(AuthManagerTest, OpenServerAllowsEveryone) {
+  // Paper §3.1: the server can run without authentication/authorization.
+  AuthManager open = AuthManager::Open();
+  AuthContext ctx;
+  ASSERT_TRUE(open.Authenticate(Credential::Anonymous(), &ctx).ok());
+  EXPECT_FALSE(ctx.authenticated);
+  EXPECT_TRUE(open.Authorize(ctx, Privilege::kLrcWrite).ok());
+  EXPECT_TRUE(open.Authorize(ctx, Privilege::kAdmin).ok());
+}
+
+TEST(AuthManagerTest, SecuredRequiresCredential) {
+  Gridmap gridmap;
+  ASSERT_TRUE(gridmap.AddEntry("/CN=User", "user").ok());
+  Acl acl;
+  ASSERT_TRUE(acl.AddEntry("user", {Privilege::kLrcRead}).ok());
+  AuthManager secured = AuthManager::Secured(std::move(gridmap), std::move(acl),
+                                             std::chrono::microseconds(0));
+  AuthContext ctx;
+  EXPECT_EQ(secured.Authenticate(Credential::Anonymous(), &ctx).code(),
+            ErrorCode::kUnauthenticated);
+  ASSERT_TRUE(secured.Authenticate(Credential{"/CN=User"}, &ctx).ok());
+  EXPECT_TRUE(ctx.authenticated);
+  EXPECT_EQ(ctx.local_user, "user");
+  EXPECT_TRUE(secured.Authorize(ctx, Privilege::kLrcRead).ok());
+  EXPECT_EQ(secured.Authorize(ctx, Privilege::kLrcWrite).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST(AuthManagerTest, UnmappedDnCanStillMatchAclByDn) {
+  // ACL entries match the DN directly even without a gridmap entry.
+  Gridmap gridmap;
+  Acl acl;
+  ASSERT_TRUE(acl.AddEntry("/CN=Direct.*", {Privilege::kRliRead}).ok());
+  AuthManager secured = AuthManager::Secured(std::move(gridmap), std::move(acl),
+                                             std::chrono::microseconds(0));
+  AuthContext ctx;
+  ASSERT_TRUE(secured.Authenticate(Credential{"/CN=DirectAccess"}, &ctx).ok());
+  EXPECT_EQ(ctx.local_user, "");
+  EXPECT_TRUE(secured.Authorize(ctx, Privilege::kRliRead).ok());
+  EXPECT_FALSE(secured.Authorize(ctx, Privilege::kRliWrite).ok());
+}
+
+TEST(AuthManagerTest, UnauthenticatedContextDeniedOnSecured) {
+  AuthManager secured = AuthManager::Secured({}, {}, std::chrono::microseconds(0));
+  AuthContext ctx;  // never authenticated
+  EXPECT_EQ(secured.Authorize(ctx, Privilege::kLrcRead).code(),
+            ErrorCode::kUnauthenticated);
+}
+
+}  // namespace
+}  // namespace gsi

@@ -1,0 +1,253 @@
+#include "net/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/serialize.h"
+#include "net/transport.h"
+
+namespace net {
+namespace {
+
+using rlscommon::ErrorCode;
+using rlscommon::Status;
+
+TEST(SerializeTest, RoundTripAllTypes) {
+  std::string buffer;
+  Writer w(&buffer);
+  w.U8(7);
+  w.U16(65535);
+  w.U32(123456);
+  w.U64(1ull << 60);
+  w.I64(-42);
+  w.F64(2.5);
+  w.Str("hello");
+  w.StrVec({"a", "bb", ""});
+
+  Reader r(buffer);
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double f64;
+  std::string s;
+  std::vector<std::string> v;
+  ASSERT_TRUE(r.U8(&u8));
+  ASSERT_TRUE(r.U16(&u16));
+  ASSERT_TRUE(r.U32(&u32));
+  ASSERT_TRUE(r.U64(&u64));
+  ASSERT_TRUE(r.I64(&i64));
+  ASSERT_TRUE(r.F64(&f64));
+  ASSERT_TRUE(r.Str(&s));
+  ASSERT_TRUE(r.StrVec(&v));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u16, 65535);
+  EXPECT_EQ(u32, 123456u);
+  EXPECT_EQ(u64, 1ull << 60);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(f64, 2.5);
+  EXPECT_EQ(s, "hello");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], "bb");
+}
+
+TEST(SerializeTest, UnderflowDetected) {
+  Reader r("ab");
+  uint64_t u64;
+  EXPECT_FALSE(r.U64(&u64));
+  std::string s;
+  Reader r2("\xff\xff\xff\xff");  // length prefix larger than body
+  EXPECT_FALSE(r2.Str(&s));
+}
+
+TEST(SerializeTest, HostileStrVecCountRejected) {
+  // A huge count with a tiny body must not allocate or loop forever.
+  std::string buffer;
+  Writer w(&buffer);
+  w.U32(0x7fffffff);
+  Reader r(buffer);
+  std::vector<std::string> v;
+  EXPECT_FALSE(r.StrVec(&v));
+}
+
+TEST(LinkModelTest, DelayMath) {
+  using Millis = std::chrono::duration<double, std::milli>;
+  LinkModel lan = LinkModel::Lan100Mbit();
+  // 1 MB at 100 Mbit/s ~= 80 ms serialization + 0.1 ms propagation.
+  double ms = Millis(lan.DelayFor(1000000)).count();
+  EXPECT_NEAR(ms, 80.1, 1.0);
+
+  LinkModel wan = LinkModel::WanLaToChicago();
+  double rtt_half_ms = Millis(wan.DelayFor(0)).count();
+  EXPECT_NEAR(rtt_half_ms, 31.9, 0.1);
+
+  LinkModel loop = LinkModel::Loopback();
+  EXPECT_EQ(loop.DelayFor(1 << 20), rlscommon::Duration::zero());
+}
+
+TEST(MessageQueueTest, FifoAndClose) {
+  MessageQueue queue;
+  Message m;
+  m.opcode = 1;
+  ASSERT_TRUE(queue.Push(m));
+  m.opcode = 2;
+  ASSERT_TRUE(queue.Push(m));
+  Message out;
+  ASSERT_TRUE(queue.Pop(&out).ok());
+  EXPECT_EQ(out.opcode, 1);
+  queue.Close();
+  // Drains remaining messages, then reports closed.
+  ASSERT_TRUE(queue.Pop(&out).ok());
+  EXPECT_EQ(out.opcode, 2);
+  EXPECT_EQ(queue.Pop(&out).code(), ErrorCode::kUnavailable);
+  EXPECT_FALSE(queue.Push(m));
+}
+
+TEST(MessageQueueTest, PopWakesOnClose) {
+  MessageQueue queue;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.Close();
+  });
+  Message out;
+  EXPECT_EQ(queue.Pop(&out).code(), ErrorCode::kUnavailable);
+  closer.join();
+}
+
+TEST(NetworkTest, ConnectRefusedWithoutListener) {
+  Network network;
+  ConnectionPtr conn;
+  EXPECT_EQ(network.Connect("nowhere:1", LinkModel::Loopback(), &conn).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(NetworkTest, ListenRejectsDuplicateAddress) {
+  Network network;
+  ASSERT_TRUE(network.Listen("addr:1", [](ConnectionPtr) {}).ok());
+  EXPECT_EQ(network.Listen("addr:1", [](ConnectionPtr) {}).code(),
+            ErrorCode::kAlreadyExists);
+  network.StopListening("addr:1");
+  EXPECT_TRUE(network.Listen("addr:1", [](ConnectionPtr) {}).ok());
+}
+
+RpcHandler EchoHandler() {
+  return [](const gsi::AuthContext&, uint16_t opcode, const std::string& request,
+            std::string* response) -> Status {
+    if (opcode == 99) return Status::NotFound("nothing here");
+    *response = request + "!";
+    return Status::Ok();
+  };
+}
+
+TEST(RpcTest, CallRoundTrip) {
+  Network network;
+  RpcServer server(&network, "echo:1", ServerOptions{}, EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::unique_ptr<RpcClient> client;
+  ASSERT_TRUE(RpcClient::Connect(&network, "echo:1", ClientOptions{}, &client).ok());
+  std::string response;
+  ASSERT_TRUE(client->Call(5, "hello", &response).ok());
+  EXPECT_EQ(response, "hello!");
+  EXPECT_EQ(server.requests_served(), 1u);
+  server.Stop();
+}
+
+TEST(RpcTest, ServerErrorsPropagateAsStatus) {
+  Network network;
+  RpcServer server(&network, "echo:2", ServerOptions{}, EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+  std::unique_ptr<RpcClient> client;
+  ASSERT_TRUE(RpcClient::Connect(&network, "echo:2", ClientOptions{}, &client).ok());
+  std::string response;
+  Status s = client->Call(99, "", &response);
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "nothing here");
+  server.Stop();
+}
+
+TEST(RpcTest, SecuredServerRejectsAnonymous) {
+  gsi::Gridmap gridmap;
+  ASSERT_TRUE(gridmap.AddEntry("/CN=Tester", "tester").ok());
+  gsi::Acl acl;
+  ASSERT_TRUE(acl.AddEntry("tester", {gsi::Privilege::kLrcRead}).ok());
+  ServerOptions options;
+  options.auth =
+      gsi::AuthManager::Secured(std::move(gridmap), std::move(acl),
+                                std::chrono::microseconds(0));
+  Network network;
+  RpcServer server(&network, "sec:1", options, EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::unique_ptr<RpcClient> client;
+  Status s = RpcClient::Connect(&network, "sec:1", ClientOptions{}, &client);
+  EXPECT_EQ(s.code(), ErrorCode::kUnauthenticated);
+
+  ClientOptions with_cred;
+  with_cred.credential.dn = "/CN=Tester";
+  ASSERT_TRUE(RpcClient::Connect(&network, "sec:1", with_cred, &client).ok());
+  std::string response;
+  EXPECT_TRUE(client->Call(1, "ping", &response).ok());
+  server.Stop();
+}
+
+TEST(RpcTest, ManyConcurrentClients) {
+  Network network;
+  RpcServer server(&network, "echo:3", ServerOptions{}, EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 16; ++t) {
+    threads.emplace_back([&] {
+      std::unique_ptr<RpcClient> client;
+      if (!RpcClient::Connect(&network, "echo:3", ClientOptions{}, &client).ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < 50; ++i) {
+        std::string response;
+        if (!client->Call(1, "x", &response).ok() || response != "x!") ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.requests_served(), 16u * 50u);
+  server.Stop();
+}
+
+TEST(RpcTest, CallAfterServerStopFails) {
+  Network network;
+  auto server = std::make_unique<RpcServer>(&network, "echo:4", ServerOptions{},
+                                            EchoHandler());
+  ASSERT_TRUE(server->Start().ok());
+  std::unique_ptr<RpcClient> client;
+  ASSERT_TRUE(RpcClient::Connect(&network, "echo:4", ClientOptions{}, &client).ok());
+  server->Stop();
+  std::string response;
+  EXPECT_EQ(client->Call(1, "x", &response).code(), ErrorCode::kUnavailable);
+}
+
+TEST(RpcTest, LinkModelDelaysCall) {
+  Network network;
+  RpcServer server(&network, "slow:1", ServerOptions{}, EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+  ClientOptions options;
+  options.link.rtt = std::chrono::microseconds(40000);  // 40 ms RTT
+  std::unique_ptr<RpcClient> client;
+  ASSERT_TRUE(RpcClient::Connect(&network, "slow:1", options, &client).ok());
+  auto start = std::chrono::steady_clock::now();
+  std::string response;
+  ASSERT_TRUE(client->Call(1, "x", &response).ok());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  // One call = request + response = one full RTT minimum.
+  EXPECT_GE(elapsed, std::chrono::microseconds(38000));
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace net

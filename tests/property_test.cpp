@@ -1,0 +1,180 @@
+// Property-based tests: randomized operation sequences against simple
+// reference models.
+//
+//   * LrcStore vs. an in-memory multimap model — create/add/delete/query
+//     must agree exactly after every step.
+//   * SQL engine vs. a vector-of-rows model for predicate filtering.
+//   * Bloom counting filter: after arbitrary add/remove churn, exported
+//     bitmaps never produce false negatives for the live set.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+
+#include "bloom/bloom_filter.h"
+#include "common/rng.h"
+#include "rls/lrc_store.h"
+#include "sql/engine.h"
+
+namespace rls {
+namespace {
+
+std::string UniqueDb() {
+  static std::atomic<int> counter{0};
+  return "mysql://prop" + std::to_string(counter.fetch_add(1));
+}
+
+class LrcModelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LrcModelProperty, RandomOpsAgreeWithModel) {
+  dbapi::Environment env;
+  const std::string dsn = UniqueDb();
+  ASSERT_TRUE(env.CreateDatabase(dsn).ok());
+  std::unique_ptr<LrcStore> store;
+  ASSERT_TRUE(LrcStore::Create(env, dsn, &store).ok());
+
+  // Reference model: logical -> set of targets.
+  std::map<std::string, std::set<std::string>> model;
+  rlscommon::Xoshiro256 rng(GetParam());
+
+  auto lfn = [&](uint64_t i) { return "lfn" + std::to_string(i); };
+  auto pfn = [&](uint64_t i) { return "pfn" + std::to_string(i); };
+
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t l = rng.Below(20);
+    const uint64_t p = rng.Below(30);
+    switch (rng.Below(4)) {
+      case 0: {  // create
+        auto status = store->CreateMapping(lfn(l), pfn(p));
+        const bool model_new = !model.count(lfn(l));
+        EXPECT_EQ(status.ok(), model_new) << "step " << step;
+        if (model_new) model[lfn(l)].insert(pfn(p));
+        break;
+      }
+      case 1: {  // add
+        auto status = store->AddMapping(lfn(l), pfn(p));
+        auto it = model.find(lfn(l));
+        const bool model_ok = it != model.end() && !it->second.count(pfn(p));
+        EXPECT_EQ(status.ok(), model_ok) << "step " << step;
+        if (model_ok) it->second.insert(pfn(p));
+        break;
+      }
+      case 2: {  // delete
+        auto status = store->DeleteMapping(lfn(l), pfn(p));
+        auto it = model.find(lfn(l));
+        const bool model_ok = it != model.end() && it->second.count(pfn(p)) > 0;
+        EXPECT_EQ(status.ok(), model_ok) << "step " << step;
+        if (model_ok) {
+          it->second.erase(pfn(p));
+          if (it->second.empty()) model.erase(it);
+        }
+        break;
+      }
+      case 3: {  // query
+        std::vector<std::string> targets;
+        auto status = store->QueryLogical(lfn(l), &targets);
+        auto it = model.find(lfn(l));
+        EXPECT_EQ(status.ok(), it != model.end()) << "step " << step;
+        if (it != model.end()) {
+          std::set<std::string> got(targets.begin(), targets.end());
+          EXPECT_EQ(got, it->second) << "step " << step;
+        }
+        break;
+      }
+    }
+  }
+
+  // Final invariants: counts agree; every model mapping is queryable.
+  uint64_t model_mappings = 0;
+  for (const auto& [l, targets] : model) model_mappings += targets.size();
+  EXPECT_EQ(store->LogicalNameCount(), model.size());
+  EXPECT_EQ(store->MappingCount(), model_mappings);
+  for (const auto& [l, targets] : model) {
+    std::vector<std::string> got;
+    ASSERT_TRUE(store->QueryLogical(l, &got).ok());
+    EXPECT_EQ(std::set<std::string>(got.begin(), got.end()), targets);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LrcModelProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+class SqlFilterProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlFilterProperty, PredicatesAgreeWithModel) {
+  rdb::Database db("prop", rdb::BackendProfile::MySQL());
+  sql::Engine engine(&db);
+  sql::Session session;
+  sql::ResultSet rs;
+  ASSERT_TRUE(engine.ExecuteSql("CREATE TABLE t (id INT, v INT)", {}, &session, &rs).ok());
+  ASSERT_TRUE(engine.ExecuteSql("CREATE INDEX idx_v ON t (v)", {}, &session, &rs).ok());
+
+  rlscommon::Xoshiro256 rng(GetParam());
+  std::vector<std::pair<int64_t, int64_t>> model;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.Below(50));
+    model.emplace_back(i, v);
+    ASSERT_TRUE(engine
+                    .ExecuteSql("INSERT INTO t (id, v) VALUES (?, ?)",
+                                {rdb::Value::Int(i), rdb::Value::Int(v)}, &session, &rs)
+                    .ok());
+  }
+
+  for (int probe = 0; probe < 50; ++probe) {
+    const int64_t bound = static_cast<int64_t>(rng.Below(55));
+    // Equality via index.
+    ASSERT_TRUE(engine
+                    .ExecuteSql("SELECT COUNT(*) FROM t WHERE v = ?",
+                                {rdb::Value::Int(bound)}, &session, &rs)
+                    .ok());
+    int64_t expected = 0;
+    for (auto& [id, v] : model) {
+      if (v == bound) ++expected;
+    }
+    EXPECT_EQ(rs.at(0, 0).AsInt(), expected) << "v = " << bound;
+    // Range via scan.
+    ASSERT_TRUE(engine
+                    .ExecuteSql("SELECT COUNT(*) FROM t WHERE v < ?",
+                                {rdb::Value::Int(bound)}, &session, &rs)
+                    .ok());
+    expected = 0;
+    for (auto& [id, v] : model) {
+      if (v < bound) ++expected;
+    }
+    EXPECT_EQ(rs.at(0, 0).AsInt(), expected) << "v < " << bound;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlFilterProperty, ::testing::Values(11, 22, 33));
+
+class BloomChurnProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BloomChurnProperty, NoFalseNegativesAfterChurn) {
+  bloom::CountingBloomFilter filter = bloom::CountingBloomFilter::ForEntries(5000);
+  std::set<std::string> live;
+  rlscommon::Xoshiro256 rng(GetParam());
+
+  for (int step = 0; step < 5000; ++step) {
+    std::string key = "key" + std::to_string(rng.Below(3000));
+    if (rng.Below(2) == 0) {
+      if (!live.count(key)) {
+        filter.Insert(key);
+        live.insert(key);
+      }
+    } else if (live.count(key)) {
+      filter.Remove(key);
+      live.erase(key);
+    }
+  }
+
+  bloom::BloomFilter exported = filter.ToBloomFilter();
+  for (const std::string& key : live) {
+    EXPECT_TRUE(filter.Contains(key)) << key;
+    EXPECT_TRUE(exported.Contains(key)) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BloomChurnProperty, ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace rls

@@ -1,0 +1,195 @@
+#include "rdb/index.h"
+
+#include <gtest/gtest.h>
+
+namespace rdb {
+namespace {
+
+Rid R(uint32_t page, uint16_t slot) { return Rid{page, slot}; }
+
+TEST(HashIndexTest, InsertLookup) {
+  HashIndex index(IndexDeleteMode::kErase);
+  index.Insert(Value::String("a"), R(0, 0));
+  index.Insert(Value::String("b"), R(0, 1));
+  std::vector<Rid> rids;
+  index.Lookup(Value::String("a"), &rids);
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(rids[0], R(0, 0));
+}
+
+TEST(HashIndexTest, MultimapSemantics) {
+  HashIndex index(IndexDeleteMode::kErase);
+  index.Insert(Value::Int(7), R(0, 0));
+  index.Insert(Value::Int(7), R(0, 1));
+  std::vector<Rid> rids;
+  index.Lookup(Value::Int(7), &rids);
+  EXPECT_EQ(rids.size(), 2u);
+}
+
+TEST(HashIndexTest, UniqueRejectsDuplicates) {
+  HashIndex index(IndexDeleteMode::kErase, /*unique=*/true);
+  EXPECT_TRUE(index.Insert(Value::String("key"), R(0, 0)));
+  EXPECT_FALSE(index.Insert(Value::String("key"), R(0, 1)));
+  // After erasing, the key becomes insertable again.
+  index.Erase(Value::String("key"), R(0, 0));
+  EXPECT_TRUE(index.Insert(Value::String("key"), R(0, 2)));
+}
+
+TEST(HashIndexTest, EraseModeRemovesEntries) {
+  HashIndex index(IndexDeleteMode::kErase);
+  for (int i = 0; i < 1000; ++i) index.Insert(Value::Int(i), R(0, i % 100));
+  for (int i = 0; i < 1000; ++i) index.Erase(Value::Int(i), R(0, i % 100));
+  EXPECT_EQ(index.stats().live_entries, 0u);
+  EXPECT_EQ(index.stats().tombstones, 0u);
+}
+
+TEST(HashIndexTest, TombstoneModeAccumulatesDead) {
+  HashIndex index(IndexDeleteMode::kTombstone);
+  for (int i = 0; i < 1000; ++i) index.Insert(Value::Int(i), R(0, 0));
+  for (int i = 0; i < 1000; ++i) index.Erase(Value::Int(i), R(0, 0));
+  EXPECT_EQ(index.stats().live_entries, 0u);
+  EXPECT_EQ(index.stats().tombstones, 1000u);
+  // Like a PostgreSQL index: dead entries are still RETURNED — only the
+  // heap fetch (visibility check) reveals they are deleted. That fetch
+  // is the cost the Fig. 8 saw-tooth measures.
+  std::vector<Rid> rids;
+  index.Lookup(Value::Int(5), &rids);
+  EXPECT_EQ(rids.size(), 1u);
+}
+
+TEST(HashIndexTest, EraseModeReturnsNoDeadEntries) {
+  HashIndex index(IndexDeleteMode::kErase);
+  index.Insert(Value::Int(5), R(0, 0));
+  index.Erase(Value::Int(5), R(0, 0));
+  std::vector<Rid> rids;
+  index.Lookup(Value::Int(5), &rids);
+  EXPECT_TRUE(rids.empty());
+}
+
+TEST(HashIndexTest, TombstonesSlowProbes) {
+  // The Fig. 8 mechanism: churn on the same keys lengthens bucket chains
+  // under the PostgreSQL delete mode.
+  HashIndex pg(IndexDeleteMode::kTombstone);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 200; ++i) pg.Insert(Value::Int(i), R(0, 0));
+    for (int i = 0; i < 200; ++i) pg.Erase(Value::Int(i), R(0, 0));
+  }
+  // Measure probe work for one lookup burst.
+  const uint64_t steps_before = pg.stats().probe_steps;
+  std::vector<Rid> rids;
+  for (int i = 0; i < 200; ++i) pg.Lookup(Value::Int(i), &rids);
+  const uint64_t pg_steps = pg.stats().probe_steps - steps_before;
+
+  HashIndex my(IndexDeleteMode::kErase);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 200; ++i) my.Insert(Value::Int(i), R(0, 0));
+    for (int i = 0; i < 200; ++i) my.Erase(Value::Int(i), R(0, 0));
+  }
+  const uint64_t my_before = my.stats().probe_steps;
+  for (int i = 0; i < 200; ++i) my.Lookup(Value::Int(i), &rids);
+  const uint64_t my_steps = my.stats().probe_steps - my_before;
+
+  EXPECT_GT(pg_steps, my_steps * 5) << "tombstones must dominate probe cost";
+}
+
+TEST(HashIndexTest, ClearDropsTombstones) {
+  HashIndex index(IndexDeleteMode::kTombstone);
+  for (int i = 0; i < 100; ++i) index.Insert(Value::Int(i), R(0, 0));
+  for (int i = 0; i < 100; ++i) index.Erase(Value::Int(i), R(0, 0));
+  index.Clear();  // VACUUM rebuild path
+  EXPECT_EQ(index.stats().tombstones, 0u);
+  index.Insert(Value::Int(1), R(0, 0));
+  std::vector<Rid> rids;
+  index.Lookup(Value::Int(1), &rids);
+  EXPECT_EQ(rids.size(), 1u);
+}
+
+TEST(HashIndexTest, GrowthKeepsLookupsCorrect) {
+  HashIndex index(IndexDeleteMode::kErase, false, 16);
+  for (int i = 0; i < 10000; ++i) index.Insert(Value::Int(i), R(0, i % 1000));
+  EXPECT_GT(index.bucket_count(), 16u);
+  std::vector<Rid> rids;
+  for (int i = 0; i < 10000; i += 97) {
+    rids.clear();
+    index.Lookup(Value::Int(i), &rids);
+    ASSERT_EQ(rids.size(), 1u) << i;
+    EXPECT_EQ(rids[0], R(0, i % 1000));
+  }
+}
+
+TEST(HashIndexTest, EraseMissingIsNoop) {
+  HashIndex index(IndexDeleteMode::kErase);
+  index.Insert(Value::Int(1), R(0, 0));
+  index.Erase(Value::Int(2), R(0, 0));    // wrong key
+  index.Erase(Value::Int(1), R(0, 99));   // wrong rid
+  std::vector<Rid> rids;
+  index.Lookup(Value::Int(1), &rids);
+  EXPECT_EQ(rids.size(), 1u);
+}
+
+TEST(HashIndexTest, NumericKeysCrossTypeConsistent) {
+  // Int(3) and Double(3.0) compare equal, so they must collide in the index.
+  HashIndex index(IndexDeleteMode::kErase);
+  index.Insert(Value::Int(3), R(0, 0));
+  std::vector<Rid> rids;
+  index.Lookup(Value::Double(3.0), &rids);
+  EXPECT_EQ(rids.size(), 1u);
+}
+
+TEST(OrderedIndexTest, RangeQueries) {
+  OrderedIndex index;
+  for (int i = 0; i < 100; ++i) index.Insert(Value::Timestamp(i * 10), R(0, i));
+  std::vector<Rid> rids;
+  index.LookupLess(Value::Timestamp(50), &rids);
+  EXPECT_EQ(rids.size(), 5u);  // 0,10,20,30,40
+  rids.clear();
+  index.LookupRange(Value::Timestamp(30), Value::Timestamp(60), &rids);
+  EXPECT_EQ(rids.size(), 4u);  // 30,40,50,60
+}
+
+TEST(OrderedIndexTest, EqualKeyLookup) {
+  OrderedIndex index;
+  index.Insert(Value::Int(5), R(0, 0));
+  index.Insert(Value::Int(5), R(0, 1));
+  index.Insert(Value::Int(6), R(0, 2));
+  std::vector<Rid> rids;
+  index.Lookup(Value::Int(5), &rids);
+  EXPECT_EQ(rids.size(), 2u);
+}
+
+TEST(OrderedIndexTest, EraseSpecificEntry) {
+  OrderedIndex index;
+  index.Insert(Value::Int(5), R(0, 0));
+  index.Insert(Value::Int(5), R(0, 1));
+  index.Erase(Value::Int(5), R(0, 0));
+  std::vector<Rid> rids;
+  index.Lookup(Value::Int(5), &rids);
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(rids[0], R(0, 1));
+}
+
+TEST(ValueTest, CompareOrdering) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Double(9.5).Compare(Value::String("a")), 0);  // numbers < strings
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+}
+
+TEST(ValueTest, EncodeDecodeRoundTrip) {
+  const Value values[] = {Value::Null(), Value::Int(-42), Value::Double(3.25),
+                          Value::String("hello"), Value::Timestamp(123456789)};
+  for (const Value& v : values) {
+    std::string bytes;
+    v.Encode(&bytes);
+    std::string_view view = bytes;
+    Value decoded;
+    ASSERT_TRUE(Value::Decode(&view, &decoded).ok());
+    EXPECT_TRUE(view.empty());
+    EXPECT_EQ(decoded.Compare(v), 0);
+    EXPECT_EQ(decoded.is_timestamp(), v.is_timestamp());
+  }
+}
+
+}  // namespace
+}  // namespace rdb

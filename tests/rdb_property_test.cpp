@@ -1,0 +1,170 @@
+// Property tests for the storage engine: random operation sequences
+// against an in-memory reference model, under BOTH backend profiles,
+// with interleaved VACUUMs.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "rdb/database.h"
+
+namespace rdb {
+namespace {
+
+TableSchema KvSchema() {
+  return TableSchema("kv", {
+      ColumnDef{"id", ColumnType::kInt, false, true, 0},
+      ColumnDef{"key", ColumnType::kVarchar, false, false, 100},
+      ColumnDef{"value", ColumnType::kInt, true, false, 0},
+  });
+}
+
+struct Model {
+  // key -> (id, value); unique key index semantics.
+  std::map<std::string, std::pair<int64_t, int64_t>> rows;
+};
+
+class RdbModelProperty
+    : public ::testing::TestWithParam<std::tuple<BackendKind, uint64_t>> {};
+
+TEST_P(RdbModelProperty, RandomOpsMatchModel) {
+  auto [kind, seed] = GetParam();
+  BackendProfile profile;
+  profile.kind = kind;
+  Table table(KvSchema(), &profile);
+  ASSERT_TRUE(table.CreateIndex("pk", "id", IndexKind::kHash, true).ok());
+  ASSERT_TRUE(table.CreateIndex("by_key", "key", IndexKind::kHash, true).ok());
+
+  Model model;
+  rlscommon::Xoshiro256 rng(seed);
+
+  auto find_rid = [&](const std::string& key, Rid* rid) {
+    std::vector<Rid> rids;
+    table.FindHashIndex("key")->Lookup(Value::String(key), &rids);
+    for (Rid r : rids) {
+      if (table.IsLive(r)) {
+        *rid = r;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::string key = "k" + std::to_string(rng.Below(40));
+    switch (rng.Below(5)) {
+      case 0: {  // insert
+        Rid rid;
+        int64_t id = 0;
+        const int64_t value = static_cast<int64_t>(rng.Below(1000));
+        rlscommon::Status s = table.Insert({Value::Null(), Value::String(key), Value::Int(value)},
+                                &rid, &id);
+        const bool expect_ok = !model.rows.count(key);
+        ASSERT_EQ(s.ok(), expect_ok) << "step " << step << " key " << key;
+        if (expect_ok) model.rows[key] = {id, value};
+        break;
+      }
+      case 1: {  // delete
+        Rid rid;
+        const bool present = find_rid(key, &rid);
+        ASSERT_EQ(present, model.rows.count(key) > 0) << "step " << step;
+        if (present) {
+          ASSERT_TRUE(table.Delete(rid).ok());
+          model.rows.erase(key);
+        }
+        break;
+      }
+      case 2: {  // update value
+        Rid rid;
+        if (find_rid(key, &rid)) {
+          Row row;
+          ASSERT_TRUE(table.ReadRow(rid, &row).ok());
+          const int64_t fresh = static_cast<int64_t>(rng.Below(1000));
+          row[2] = Value::Int(fresh);
+          Rid new_rid;
+          ASSERT_TRUE(table.Update(rid, row, &new_rid).ok());
+          model.rows[key].second = fresh;
+        }
+        break;
+      }
+      case 3: {  // point read
+        Rid rid;
+        const bool present = find_rid(key, &rid);
+        ASSERT_EQ(present, model.rows.count(key) > 0) << "step " << step;
+        if (present) {
+          Row row;
+          ASSERT_TRUE(table.ReadRow(rid, &row).ok());
+          EXPECT_EQ(row[0].AsInt(), model.rows[key].first);
+          EXPECT_EQ(row[2].AsInt(), model.rows[key].second);
+        }
+        break;
+      }
+      case 4: {  // occasional vacuum
+        if (rng.Below(10) == 0) table.Vacuum();
+        break;
+      }
+    }
+  }
+
+  // Final sweep: model and table agree exactly.
+  EXPECT_EQ(table.live_rows(), model.rows.size());
+  for (const auto& [key, expected] : model.rows) {
+    Rid rid;
+    ASSERT_TRUE(find_rid(key, &rid)) << key;
+    Row row;
+    ASSERT_TRUE(table.ReadRow(rid, &row).ok());
+    EXPECT_EQ(row[0].AsInt(), expected.first) << key;
+    EXPECT_EQ(row[2].AsInt(), expected.second) << key;
+  }
+  table.Vacuum();
+  EXPECT_EQ(table.live_rows(), model.rows.size());
+  EXPECT_EQ(table.dead_rows(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesAndSeeds, RdbModelProperty,
+    ::testing::Combine(::testing::Values(BackendKind::kMySQL,
+                                         BackendKind::kPostgreSQL),
+                       ::testing::Values(101, 202, 303)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == BackendKind::kMySQL ? "MySQL"
+                                                                        : "PostgreSQL") +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// Ordered-index invariant: LookupLess == brute-force filter, under churn.
+class OrderedIndexProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrderedIndexProperty, RangeAgreesWithBruteForce) {
+  OrderedIndex index;
+  std::multimap<int64_t, Rid> model;
+  rlscommon::Xoshiro256 rng(GetParam());
+  for (int step = 0; step < 2000; ++step) {
+    const int64_t key = static_cast<int64_t>(rng.Below(500));
+    const Rid rid{static_cast<uint32_t>(step), 0};
+    if (rng.Below(3) != 0) {
+      index.Insert(Value::Timestamp(key), rid);
+      model.emplace(key, rid);
+    } else if (!model.empty()) {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.Below(model.size())));
+      index.Erase(Value::Timestamp(it->first), it->second);
+      model.erase(it);
+    }
+    if (step % 100 == 0) {
+      const int64_t bound = static_cast<int64_t>(rng.Below(600));
+      std::vector<Rid> got;
+      index.LookupLess(Value::Timestamp(bound), &got);
+      std::size_t expected = 0;
+      for (const auto& [k, r] : model) {
+        if (k < bound) ++expected;
+      }
+      ASSERT_EQ(got.size(), expected) << "step " << step << " bound " << bound;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderedIndexProperty, ::testing::Values(5, 55, 555));
+
+}  // namespace
+}  // namespace rdb

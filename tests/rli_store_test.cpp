@@ -1,0 +1,162 @@
+#include "rls/rli_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace rls {
+namespace {
+
+using rlscommon::ErrorCode;
+
+class RliRelationalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static std::atomic<int> counter{0};
+    dsn_ = "mysql://rlistore" + std::to_string(counter.fetch_add(1));
+    ASSERT_TRUE(env_.CreateDatabase(dsn_).ok());
+    ASSERT_TRUE(RliRelationalStore::Create(env_, dsn_, &store_).ok());
+  }
+
+  dbapi::Environment env_;
+  std::string dsn_;
+  std::unique_ptr<RliRelationalStore> store_;
+};
+
+TEST_F(RliRelationalTest, UpsertAndQuery) {
+  ASSERT_TRUE(store_->Upsert("lfn1", "rls://lrc0", 1000).ok());
+  ASSERT_TRUE(store_->Upsert("lfn1", "rls://lrc1", 1000).ok());
+  std::vector<std::string> lrcs;
+  ASSERT_TRUE(store_->Query("lfn1", &lrcs).ok());
+  EXPECT_EQ(lrcs.size(), 2u);
+  EXPECT_EQ(store_->Query("missing", &lrcs).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RliRelationalTest, UpsertRefreshesNotDuplicates) {
+  ASSERT_TRUE(store_->Upsert("lfn1", "rls://lrc0", 1000).ok());
+  ASSERT_TRUE(store_->Upsert("lfn1", "rls://lrc0", 2000).ok());
+  EXPECT_EQ(store_->AssociationCount(), 1u);
+  // The refreshed timestamp must survive an expiration pass at t=1500.
+  uint64_t removed = 0;
+  ASSERT_TRUE(store_->ExpireOlderThan(1500, &removed).ok());
+  EXPECT_EQ(removed, 0u);
+  std::vector<std::string> lrcs;
+  EXPECT_TRUE(store_->Query("lfn1", &lrcs).ok());
+}
+
+TEST_F(RliRelationalTest, BatchUpsert) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 100; ++i) names.push_back("lfn" + std::to_string(i));
+  ASSERT_TRUE(store_->UpsertBatch(names, "rls://lrc0", 500).ok());
+  EXPECT_EQ(store_->AssociationCount(), 100u);
+  EXPECT_EQ(store_->LogicalNameCount(), 100u);
+}
+
+TEST_F(RliRelationalTest, ExpirationDiscardsStaleEntries) {
+  // Paper §3.2: "an expire thread ... discards entries older than the
+  // allowed timeout interval".
+  ASSERT_TRUE(store_->Upsert("old", "rls://lrc0", 1000).ok());
+  ASSERT_TRUE(store_->Upsert("fresh", "rls://lrc0", 9000).ok());
+  uint64_t removed = 0;
+  ASSERT_TRUE(store_->ExpireOlderThan(5000, &removed).ok());
+  EXPECT_EQ(removed, 1u);
+  std::vector<std::string> lrcs;
+  EXPECT_EQ(store_->Query("old", &lrcs).code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(store_->Query("fresh", &lrcs).ok());
+  // Orphaned logical-name rows are garbage collected.
+  EXPECT_EQ(store_->LogicalNameCount(), 1u);
+}
+
+TEST_F(RliRelationalTest, RemoveIsIdempotent) {
+  ASSERT_TRUE(store_->Upsert("lfn1", "rls://lrc0", 1000).ok());
+  ASSERT_TRUE(store_->Remove("lfn1", "rls://lrc0").ok());
+  ASSERT_TRUE(store_->Remove("lfn1", "rls://lrc0").ok());
+  ASSERT_TRUE(store_->Remove("never-existed", "rls://lrc0").ok());
+  std::vector<std::string> lrcs;
+  EXPECT_EQ(store_->Query("lfn1", &lrcs).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RliRelationalTest, RemoveOnlyAffectsOneLrc) {
+  ASSERT_TRUE(store_->Upsert("lfn1", "rls://lrc0", 1000).ok());
+  ASSERT_TRUE(store_->Upsert("lfn1", "rls://lrc1", 1000).ok());
+  ASSERT_TRUE(store_->Remove("lfn1", "rls://lrc0").ok());
+  std::vector<std::string> lrcs;
+  ASSERT_TRUE(store_->Query("lfn1", &lrcs).ok());
+  ASSERT_EQ(lrcs.size(), 1u);
+  EXPECT_EQ(lrcs[0], "rls://lrc1");
+}
+
+TEST_F(RliRelationalTest, WildcardQuery) {
+  ASSERT_TRUE(store_->Upsert("lfn://a/1", "rls://lrc0", 1000).ok());
+  ASSERT_TRUE(store_->Upsert("lfn://a/2", "rls://lrc0", 1000).ok());
+  ASSERT_TRUE(store_->Upsert("lfn://b/1", "rls://lrc1", 1000).ok());
+  std::vector<Mapping> results;
+  ASSERT_TRUE(store_->WildcardQuery("lfn://a/*", 0, &results).ok());
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST_F(RliRelationalTest, ListLrcs) {
+  ASSERT_TRUE(store_->Upsert("x", "rls://lrc0", 1).ok());
+  ASSERT_TRUE(store_->Upsert("y", "rls://lrc1", 1).ok());
+  std::vector<std::string> lrcs;
+  ASSERT_TRUE(store_->ListLrcs(&lrcs).ok());
+  EXPECT_EQ(lrcs.size(), 2u);
+}
+
+TEST(RliBloomStoreTest, StoreAndQuery) {
+  RliBloomStore store;
+  bloom::BloomFilter f0 = bloom::BloomFilter::ForEntries(1000);
+  f0.Insert("lfn1");
+  f0.Insert("lfn2");
+  bloom::BloomFilter f1 = bloom::BloomFilter::ForEntries(1000);
+  f1.Insert("lfn2");
+  store.StoreFilter("rls://lrc0", std::move(f0));
+  store.StoreFilter("rls://lrc1", std::move(f1));
+  EXPECT_EQ(store.filter_count(), 2u);
+
+  std::vector<std::string> lrcs;
+  ASSERT_TRUE(store.Query("lfn1", &lrcs).ok());
+  ASSERT_EQ(lrcs.size(), 1u);
+  EXPECT_EQ(lrcs[0], "rls://lrc0");
+  ASSERT_TRUE(store.Query("lfn2", &lrcs).ok());
+  EXPECT_EQ(lrcs.size(), 2u);
+  EXPECT_EQ(store.Query("absent-name-zzz", &lrcs).code(), ErrorCode::kNotFound);
+}
+
+TEST(RliBloomStoreTest, ReplacingFilterDropsOldBits) {
+  RliBloomStore store;
+  bloom::BloomFilter old_filter = bloom::BloomFilter::ForEntries(1000);
+  old_filter.Insert("old-name");
+  store.StoreFilter("rls://lrc0", std::move(old_filter));
+  bloom::BloomFilter new_filter = bloom::BloomFilter::ForEntries(1000);
+  new_filter.Insert("new-name");
+  store.StoreFilter("rls://lrc0", std::move(new_filter));
+  EXPECT_EQ(store.filter_count(), 1u);
+  std::vector<std::string> lrcs;
+  EXPECT_EQ(store.Query("old-name", &lrcs).code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(store.Query("new-name", &lrcs).ok());
+}
+
+TEST(RliBloomStoreTest, ExpirationUsesClock) {
+  rlscommon::ManualClock clock;
+  RliBloomStore store(&clock);
+  store.StoreFilter("rls://stale", bloom::BloomFilter::ForEntries(100));
+  clock.Advance(std::chrono::seconds(100));
+  store.StoreFilter("rls://fresh", bloom::BloomFilter::ForEntries(100));
+  EXPECT_EQ(store.ExpireOlderThan(std::chrono::seconds(50)), 1u);
+  EXPECT_EQ(store.filter_count(), 1u);
+  std::vector<std::string> lrcs;
+  ASSERT_TRUE(store.ListLrcs(&lrcs).ok());
+  ASSERT_EQ(lrcs.size(), 1u);
+  EXPECT_EQ(lrcs[0], "rls://fresh");
+}
+
+TEST(RliBloomStoreTest, TotalBitsTracksMemoryFootprint) {
+  RliBloomStore store;
+  store.StoreFilter("a", bloom::BloomFilter::ForEntries(100000));
+  store.StoreFilter("b", bloom::BloomFilter::ForEntries(100000));
+  EXPECT_EQ(store.TotalFilterBits(), 2u * 1000000u);
+}
+
+}  // namespace
+}  // namespace rls

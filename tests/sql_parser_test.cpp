@@ -1,0 +1,227 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace sql {
+namespace {
+
+Statement MustParse(const std::string& text) {
+  Statement stmt;
+  auto s = Parse(text, &stmt);
+  EXPECT_TRUE(s.ok()) << text << " -> " << s.ToString();
+  return stmt;
+}
+
+TEST(LexerTest, TokenKinds) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Tokenize("SELECT 'it''s' 42 3.5 ? >= t.c", &tokens).ok());
+  ASSERT_EQ(tokens.size(), 10u);  // incl. end
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "it's");
+  EXPECT_EQ(tokens[2].int_value, 42);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 3.5);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kParam);
+  EXPECT_EQ(tokens[5].text, ">=");
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  std::vector<Token> tokens;
+  EXPECT_FALSE(Tokenize("SELECT 'oops", &tokens).ok());
+}
+
+TEST(LexerTest, RejectsStrayCharacter) {
+  std::vector<Token> tokens;
+  EXPECT_FALSE(Tokenize("SELECT @", &tokens).ok());
+}
+
+TEST(LexerTest, NegativeNumbers) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Tokenize("-5 -2.5", &tokens).ok());
+  EXPECT_EQ(tokens[0].int_value, -5);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, -2.5);
+}
+
+TEST(ParserTest, SelectStarWithWhere) {
+  auto stmt = MustParse("SELECT * FROM t_lfn WHERE name = ?");
+  auto& sel = std::get<SelectStmt>(stmt);
+  EXPECT_TRUE(sel.star);
+  EXPECT_EQ(sel.from.table, "t_lfn");
+  ASSERT_EQ(sel.where.size(), 1u);
+  EXPECT_EQ(sel.where[0].op, CmpOp::kEq);
+  EXPECT_EQ(sel.where[0].rhs.kind, Operand::Kind::kParam);
+}
+
+TEST(ParserTest, SelectWithJoins) {
+  auto stmt = MustParse(
+      "SELECT t_pfn.name FROM t_lfn"
+      " JOIN t_map ON t_lfn.id = t_map.lfn_id"
+      " JOIN t_pfn ON t_map.pfn_id = t_pfn.id"
+      " WHERE t_lfn.name = 'x'");
+  auto& sel = std::get<SelectStmt>(stmt);
+  ASSERT_EQ(sel.joins.size(), 2u);
+  EXPECT_EQ(sel.joins[0].table.table, "t_map");
+  ASSERT_EQ(sel.columns.size(), 1u);
+  EXPECT_EQ(sel.columns[0].table, "t_pfn");
+  EXPECT_EQ(sel.columns[0].column, "name");
+}
+
+TEST(ParserTest, SelectCountStar) {
+  auto stmt = MustParse("SELECT COUNT(*) FROM t_map WHERE lfn_id = 3");
+  auto& sel = std::get<SelectStmt>(stmt);
+  EXPECT_TRUE(sel.count_star);
+}
+
+TEST(ParserTest, SelectWithLikeAndLimit) {
+  auto stmt = MustParse("SELECT name FROM t_lfn WHERE name LIKE '%run%' LIMIT 10");
+  auto& sel = std::get<SelectStmt>(stmt);
+  ASSERT_EQ(sel.where.size(), 1u);
+  EXPECT_EQ(sel.where[0].op, CmpOp::kLike);
+  ASSERT_TRUE(sel.limit.has_value());
+  EXPECT_EQ(*sel.limit, 10u);
+}
+
+TEST(ParserTest, SelectWithAlias) {
+  auto stmt = MustParse("SELECT a.name FROM t_lfn AS a WHERE a.id = 1");
+  auto& sel = std::get<SelectStmt>(stmt);
+  EXPECT_EQ(sel.from.effective_alias(), "a");
+}
+
+TEST(ParserTest, RejectsNonEquiJoin) {
+  Statement stmt;
+  EXPECT_FALSE(Parse("SELECT * FROM a JOIN b ON a.x < b.y", &stmt).ok());
+}
+
+TEST(ParserTest, InsertWithColumns) {
+  auto stmt = MustParse("INSERT INTO t_lfn (name, ref) VALUES (?, 1)");
+  auto& ins = std::get<InsertStmt>(stmt);
+  EXPECT_EQ(ins.table, "t_lfn");
+  ASSERT_EQ(ins.columns.size(), 2u);
+  ASSERT_EQ(ins.rows.size(), 1u);
+  EXPECT_EQ(ins.rows[0][0].kind, Operand::Kind::kParam);
+  EXPECT_EQ(ins.rows[0][1].literal.AsInt(), 1);
+}
+
+TEST(ParserTest, InsertMultipleRows) {
+  auto stmt = MustParse("INSERT INTO t (a) VALUES (1), (2), (3)");
+  auto& ins = std::get<InsertStmt>(stmt);
+  EXPECT_EQ(ins.rows.size(), 3u);
+}
+
+TEST(ParserTest, InsertNullLiteral) {
+  auto stmt = MustParse("INSERT INTO t (a, b) VALUES (NULL, 'x')");
+  auto& ins = std::get<InsertStmt>(stmt);
+  EXPECT_TRUE(ins.rows[0][0].literal.is_null());
+}
+
+TEST(ParserTest, UpdateWithDelta) {
+  auto stmt = MustParse("UPDATE t_lfn SET ref = ref + 1 WHERE id = ?");
+  auto& upd = std::get<UpdateStmt>(stmt);
+  ASSERT_EQ(upd.sets.size(), 1u);
+  EXPECT_TRUE(upd.sets[0].is_delta);
+  EXPECT_EQ(upd.sets[0].delta, 1);
+}
+
+TEST(ParserTest, UpdateWithNegativeDelta) {
+  auto stmt = MustParse("UPDATE t_lfn SET ref = ref - 1 WHERE id = 5");
+  auto& upd = std::get<UpdateStmt>(stmt);
+  EXPECT_EQ(upd.sets[0].delta, -1);
+}
+
+TEST(ParserTest, UpdatePlainAssignment) {
+  auto stmt = MustParse("UPDATE t SET value = ?, other = 'x' WHERE id = 1");
+  auto& upd = std::get<UpdateStmt>(stmt);
+  ASSERT_EQ(upd.sets.size(), 2u);
+  EXPECT_FALSE(upd.sets[0].is_delta);
+}
+
+TEST(ParserTest, DeleteWithConjunction) {
+  auto stmt = MustParse("DELETE FROM t_map WHERE lfn_id = ? AND pfn_id = ?");
+  auto& del = std::get<DeleteStmt>(stmt);
+  EXPECT_EQ(del.where.size(), 2u);
+}
+
+TEST(ParserTest, DeleteWithRangePredicate) {
+  auto stmt = MustParse("DELETE FROM t_map WHERE updatetime < ?");
+  auto& del = std::get<DeleteStmt>(stmt);
+  ASSERT_EQ(del.where.size(), 1u);
+  EXPECT_EQ(del.where[0].op, CmpOp::kLt);
+}
+
+TEST(ParserTest, CreateTableFull) {
+  auto stmt = MustParse(
+      "CREATE TABLE t_lfn (id INT AUTO_INCREMENT PRIMARY KEY,"
+      " name VARCHAR(250) NOT NULL, ref INT, w DOUBLE, ts TIMESTAMP)");
+  auto& ct = std::get<CreateTableStmt>(stmt);
+  EXPECT_EQ(ct.schema.name(), "t_lfn");
+  ASSERT_EQ(ct.schema.num_columns(), 5u);
+  EXPECT_TRUE(ct.schema.columns()[0].auto_increment);
+  EXPECT_EQ(ct.primary_key, "id");
+  EXPECT_FALSE(ct.schema.columns()[1].nullable);
+  EXPECT_EQ(ct.schema.columns()[1].max_length, 250u);
+  EXPECT_EQ(ct.schema.columns()[3].type, rdb::ColumnType::kDouble);
+  EXPECT_EQ(ct.schema.columns()[4].type, rdb::ColumnType::kTimestamp);
+}
+
+TEST(ParserTest, CreateTableMySqlDisplayWidth) {
+  // The Fig. 3 schema writes int(11) / timestamp(14).
+  auto stmt = MustParse("CREATE TABLE t (id INT(11), ts TIMESTAMP(14))");
+  auto& ct = std::get<CreateTableStmt>(stmt);
+  EXPECT_EQ(ct.schema.columns()[0].type, rdb::ColumnType::kInt);
+}
+
+TEST(ParserTest, CreateIndexVariants) {
+  auto stmt = MustParse("CREATE UNIQUE INDEX idx ON t (name)");
+  auto& ci = std::get<CreateIndexStmt>(stmt);
+  EXPECT_TRUE(ci.unique);
+  EXPECT_FALSE(ci.ordered);
+
+  auto stmt2 = MustParse("CREATE ORDERED INDEX idx2 ON t (ts)");
+  auto& ci2 = std::get<CreateIndexStmt>(stmt2);
+  EXPECT_TRUE(ci2.ordered);
+}
+
+TEST(ParserTest, TxnStatements) {
+  EXPECT_EQ(std::get<TxnStmt>(MustParse("BEGIN")).kind, TxnStmt::Kind::kBegin);
+  EXPECT_EQ(std::get<TxnStmt>(MustParse("COMMIT")).kind, TxnStmt::Kind::kCommit);
+  EXPECT_EQ(std::get<TxnStmt>(MustParse("ROLLBACK")).kind, TxnStmt::Kind::kRollback);
+  EXPECT_EQ(std::get<TxnStmt>(MustParse("START TRANSACTION")).kind,
+            TxnStmt::Kind::kBegin);
+}
+
+TEST(ParserTest, VacuumStatements) {
+  EXPECT_EQ(std::get<VacuumStmt>(MustParse("VACUUM")).table, "");
+  EXPECT_EQ(std::get<VacuumStmt>(MustParse("VACUUM t_map")).table, "t_map");
+}
+
+TEST(ParserTest, DropTable) {
+  EXPECT_EQ(std::get<DropTableStmt>(MustParse("DROP TABLE t")).table, "t");
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  MustParse("SELECT * FROM t;");
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  Statement stmt;
+  EXPECT_FALSE(Parse("SELECT * FROM t garbage more", &stmt).ok());
+}
+
+TEST(ParserTest, RejectsEmptyInput) {
+  Statement stmt;
+  EXPECT_FALSE(Parse("", &stmt).ok());
+}
+
+TEST(ParserTest, ParamIndexesAssignedInOrder) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a = ? AND b = ? AND c = ?");
+  auto& sel = std::get<SelectStmt>(stmt);
+  EXPECT_EQ(sel.where[0].rhs.param_index, 0u);
+  EXPECT_EQ(sel.where[1].rhs.param_index, 1u);
+  EXPECT_EQ(sel.where[2].rhs.param_index, 2u);
+}
+
+}  // namespace
+}  // namespace sql

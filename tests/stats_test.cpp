@@ -1,0 +1,64 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace rlscommon {
+namespace {
+
+TEST(SummarizeTest, BasicStats) {
+  Summary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(SummarizeTest, EmptySample) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, SingleSampleHasZeroStddev) {
+  Summary s = Summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 7.0);
+}
+
+TEST(TrialStatsTest, MeanRateOverTrials) {
+  // Paper methodology: N ops per trial, mean rate over trials.
+  TrialStats stats;
+  stats.AddTrial(3000, 10.0);  // 300 ops/s
+  stats.AddTrial(3000, 5.0);   // 600 ops/s
+  EXPECT_EQ(stats.trials(), 2u);
+  EXPECT_DOUBLE_EQ(stats.MeanRate(), 450.0);
+  EXPECT_DOUBLE_EQ(stats.MeanSeconds(), 7.5);
+}
+
+TEST(TrialStatsTest, ZeroSecondsYieldsZeroRate) {
+  TrialStats stats;
+  stats.AddTrial(100, 0.0);
+  EXPECT_DOUBLE_EQ(stats.MeanRate(), 0.0);
+}
+
+TEST(TrialStatsTest, EmptyIsZero) {
+  TrialStats stats;
+  EXPECT_DOUBLE_EQ(stats.MeanRate(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.MeanSeconds(), 0.0);
+}
+
+TEST(FormatTest, Double) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1000.0, 0), "1000");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(1536), "1.50 KB");
+  EXPECT_EQ(FormatBytes(1.25 * 1024 * 1024), "1.25 MB");
+}
+
+}  // namespace
+}  // namespace rlscommon

@@ -1,0 +1,128 @@
+#include "common/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace rlscommon {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.Below(10)];
+  for (int b : buckets) {
+    EXPECT_GT(b, n / 10 - n / 50);
+    EXPECT_LT(b, n / 10 + n / 50);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Xoshiro256 base(5);
+  Xoshiro256 s0 = base.Split(0);
+  Xoshiro256 s1 = base.Split(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0() == s1()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomIdentifierTest, LengthAndAlphabet) {
+  Xoshiro256 rng(9);
+  std::string id = RandomIdentifier(rng, 16);
+  EXPECT_EQ(id.size(), 16u);
+  for (char c : id) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+  }
+}
+
+TEST(NameGeneratorTest, StableNames) {
+  NameGenerator gen("ligo", 1);
+  EXPECT_EQ(gen.LogicalName(42), gen.LogicalName(42));
+  EXPECT_NE(gen.LogicalName(42), gen.LogicalName(43));
+}
+
+TEST(NameGeneratorTest, NamesAreUniquePerIndex) {
+  NameGenerator gen("exp", 2);
+  std::set<std::string> names;
+  for (uint64_t i = 0; i < 5000; ++i) names.insert(gen.LogicalName(i));
+  EXPECT_EQ(names.size(), 5000u);
+}
+
+TEST(NameGeneratorTest, ReplicasLandAtDifferentSites) {
+  NameGenerator gen("esg", 3);
+  EXPECT_NE(gen.PhysicalName(10, 0), gen.PhysicalName(10, 1));
+}
+
+TEST(NameGeneratorTest, BatchMatchesSingles) {
+  NameGenerator gen("x", 4);
+  auto batch = gen.LogicalNames(10, 20);
+  ASSERT_EQ(batch.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(batch[i], gen.LogicalName(10 + i));
+  }
+}
+
+TEST(NameGeneratorTest, NamesFitVarchar250) {
+  // The Fig. 3 schema caps names at VARCHAR(250).
+  NameGenerator gen("a-rather-long-experiment-prefix", 5);
+  EXPECT_LT(gen.LogicalName(999999999).size(), 250u);
+  EXPECT_LT(gen.PhysicalName(999999999, 7).size(), 250u);
+}
+
+TEST(OpStreamTest, QueryFractionRespected) {
+  OpStream stream(1000, 0.8, 0.1, 42);
+  int queries = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (stream.Next().kind == OpKind::kQuery) ++queries;
+  }
+  EXPECT_GT(queries, n * 7 / 10);
+  EXPECT_LT(queries, n * 9 / 10);
+}
+
+TEST(OpStreamTest, QueriesHitPreloadedUniverse) {
+  OpStream stream(100, 1.0, 0.0, 1);
+  for (int i = 0; i < 1000; ++i) {
+    Op op = stream.Next();
+    EXPECT_EQ(op.kind, OpKind::kQuery);
+    EXPECT_LT(op.index, 100u);
+  }
+}
+
+}  // namespace
+}  // namespace rlscommon
