@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_lrc_add_flush.dir/bench_fig04_lrc_add_flush.cpp.o"
+  "CMakeFiles/bench_fig04_lrc_add_flush.dir/bench_fig04_lrc_add_flush.cpp.o.d"
+  "bench_fig04_lrc_add_flush"
+  "bench_fig04_lrc_add_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_lrc_add_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

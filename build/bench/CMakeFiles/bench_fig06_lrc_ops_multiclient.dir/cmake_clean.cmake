@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_lrc_ops_multiclient.dir/bench_fig06_lrc_ops_multiclient.cpp.o"
+  "CMakeFiles/bench_fig06_lrc_ops_multiclient.dir/bench_fig06_lrc_ops_multiclient.cpp.o.d"
+  "bench_fig06_lrc_ops_multiclient"
+  "bench_fig06_lrc_ops_multiclient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_lrc_ops_multiclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

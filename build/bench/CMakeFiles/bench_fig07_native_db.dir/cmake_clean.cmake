@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_native_db.dir/bench_fig07_native_db.cpp.o"
+  "CMakeFiles/bench_fig07_native_db.dir/bench_fig07_native_db.cpp.o.d"
+  "bench_fig07_native_db"
+  "bench_fig07_native_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_native_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

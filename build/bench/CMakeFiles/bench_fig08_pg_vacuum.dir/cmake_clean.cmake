@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_pg_vacuum.dir/bench_fig08_pg_vacuum.cpp.o"
+  "CMakeFiles/bench_fig08_pg_vacuum.dir/bench_fig08_pg_vacuum.cpp.o.d"
+  "bench_fig08_pg_vacuum"
+  "bench_fig08_pg_vacuum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_pg_vacuum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_rli_query_uncompressed.dir/bench_fig09_rli_query_uncompressed.cpp.o"
+  "CMakeFiles/bench_fig09_rli_query_uncompressed.dir/bench_fig09_rli_query_uncompressed.cpp.o.d"
+  "bench_fig09_rli_query_uncompressed"
+  "bench_fig09_rli_query_uncompressed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_rli_query_uncompressed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

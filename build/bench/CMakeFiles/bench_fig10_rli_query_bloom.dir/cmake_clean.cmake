@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_rli_query_bloom.dir/bench_fig10_rli_query_bloom.cpp.o"
+  "CMakeFiles/bench_fig10_rli_query_bloom.dir/bench_fig10_rli_query_bloom.cpp.o.d"
+  "bench_fig10_rli_query_bloom"
+  "bench_fig10_rli_query_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_rli_query_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

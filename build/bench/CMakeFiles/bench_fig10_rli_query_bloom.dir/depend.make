@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_rli_query_bloom.
+# This may be replaced when dependencies are built.

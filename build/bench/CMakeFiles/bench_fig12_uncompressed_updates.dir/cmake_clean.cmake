@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_uncompressed_updates.dir/bench_fig12_uncompressed_updates.cpp.o"
+  "CMakeFiles/bench_fig12_uncompressed_updates.dir/bench_fig12_uncompressed_updates.cpp.o.d"
+  "bench_fig12_uncompressed_updates"
+  "bench_fig12_uncompressed_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_uncompressed_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

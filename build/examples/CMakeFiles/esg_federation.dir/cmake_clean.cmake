@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_federation.dir/esg_federation.cpp.o"
+  "CMakeFiles/esg_federation.dir/esg_federation.cpp.o.d"
+  "esg_federation"
+  "esg_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

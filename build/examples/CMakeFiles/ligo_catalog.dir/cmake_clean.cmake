@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ligo_catalog.dir/ligo_catalog.cpp.o"
+  "CMakeFiles/ligo_catalog.dir/ligo_catalog.cpp.o.d"
+  "ligo_catalog"
+  "ligo_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ligo_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pegasus_workflow.dir/pegasus_workflow.cpp.o"
+  "CMakeFiles/pegasus_workflow.dir/pegasus_workflow.cpp.o.d"
+  "pegasus_workflow"
+  "pegasus_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pegasus_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_admin.dir/rls_admin.cpp.o"
+  "CMakeFiles/rls_admin.dir/rls_admin.cpp.o.d"
+  "rls_admin"
+  "rls_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_bloom.dir/bloom_filter.cpp.o"
+  "CMakeFiles/rls_bloom.dir/bloom_filter.cpp.o.d"
+  "CMakeFiles/rls_bloom.dir/hashing.cpp.o"
+  "CMakeFiles/rls_bloom.dir/hashing.cpp.o.d"
+  "librls_bloom.a"
+  "librls_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

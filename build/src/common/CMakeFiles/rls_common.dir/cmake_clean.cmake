@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_common.dir/clock.cpp.o"
+  "CMakeFiles/rls_common.dir/clock.cpp.o.d"
+  "CMakeFiles/rls_common.dir/config.cpp.o"
+  "CMakeFiles/rls_common.dir/config.cpp.o.d"
+  "CMakeFiles/rls_common.dir/error.cpp.o"
+  "CMakeFiles/rls_common.dir/error.cpp.o.d"
+  "CMakeFiles/rls_common.dir/histogram.cpp.o"
+  "CMakeFiles/rls_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/rls_common.dir/logging.cpp.o"
+  "CMakeFiles/rls_common.dir/logging.cpp.o.d"
+  "CMakeFiles/rls_common.dir/rng.cpp.o"
+  "CMakeFiles/rls_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rls_common.dir/stats.cpp.o"
+  "CMakeFiles/rls_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rls_common.dir/strings.cpp.o"
+  "CMakeFiles/rls_common.dir/strings.cpp.o.d"
+  "CMakeFiles/rls_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/rls_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/rls_common.dir/workload.cpp.o"
+  "CMakeFiles/rls_common.dir/workload.cpp.o.d"
+  "librls_common.a"
+  "librls_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

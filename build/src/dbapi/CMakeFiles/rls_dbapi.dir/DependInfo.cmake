@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbapi/dbapi.cpp" "src/dbapi/CMakeFiles/rls_dbapi.dir/dbapi.cpp.o" "gcc" "src/dbapi/CMakeFiles/rls_dbapi.dir/dbapi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/rls_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdb/CMakeFiles/rls_rdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/rls_bloom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_dbapi.dir/dbapi.cpp.o"
+  "CMakeFiles/rls_dbapi.dir/dbapi.cpp.o.d"
+  "librls_dbapi.a"
+  "librls_dbapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_dbapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_gsi.dir/gsi.cpp.o"
+  "CMakeFiles/rls_gsi.dir/gsi.cpp.o.d"
+  "librls_gsi.a"
+  "librls_gsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_gsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_net.dir/rpc.cpp.o"
+  "CMakeFiles/rls_net.dir/rpc.cpp.o.d"
+  "CMakeFiles/rls_net.dir/transport.cpp.o"
+  "CMakeFiles/rls_net.dir/transport.cpp.o.d"
+  "librls_net.a"
+  "librls_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

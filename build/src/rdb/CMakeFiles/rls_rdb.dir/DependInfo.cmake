@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdb/database.cpp" "src/rdb/CMakeFiles/rls_rdb.dir/database.cpp.o" "gcc" "src/rdb/CMakeFiles/rls_rdb.dir/database.cpp.o.d"
+  "/root/repo/src/rdb/heap.cpp" "src/rdb/CMakeFiles/rls_rdb.dir/heap.cpp.o" "gcc" "src/rdb/CMakeFiles/rls_rdb.dir/heap.cpp.o.d"
+  "/root/repo/src/rdb/index.cpp" "src/rdb/CMakeFiles/rls_rdb.dir/index.cpp.o" "gcc" "src/rdb/CMakeFiles/rls_rdb.dir/index.cpp.o.d"
+  "/root/repo/src/rdb/schema.cpp" "src/rdb/CMakeFiles/rls_rdb.dir/schema.cpp.o" "gcc" "src/rdb/CMakeFiles/rls_rdb.dir/schema.cpp.o.d"
+  "/root/repo/src/rdb/table.cpp" "src/rdb/CMakeFiles/rls_rdb.dir/table.cpp.o" "gcc" "src/rdb/CMakeFiles/rls_rdb.dir/table.cpp.o.d"
+  "/root/repo/src/rdb/value.cpp" "src/rdb/CMakeFiles/rls_rdb.dir/value.cpp.o" "gcc" "src/rdb/CMakeFiles/rls_rdb.dir/value.cpp.o.d"
+  "/root/repo/src/rdb/wal.cpp" "src/rdb/CMakeFiles/rls_rdb.dir/wal.cpp.o" "gcc" "src/rdb/CMakeFiles/rls_rdb.dir/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/rls_bloom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_rdb.dir/database.cpp.o"
+  "CMakeFiles/rls_rdb.dir/database.cpp.o.d"
+  "CMakeFiles/rls_rdb.dir/heap.cpp.o"
+  "CMakeFiles/rls_rdb.dir/heap.cpp.o.d"
+  "CMakeFiles/rls_rdb.dir/index.cpp.o"
+  "CMakeFiles/rls_rdb.dir/index.cpp.o.d"
+  "CMakeFiles/rls_rdb.dir/schema.cpp.o"
+  "CMakeFiles/rls_rdb.dir/schema.cpp.o.d"
+  "CMakeFiles/rls_rdb.dir/table.cpp.o"
+  "CMakeFiles/rls_rdb.dir/table.cpp.o.d"
+  "CMakeFiles/rls_rdb.dir/value.cpp.o"
+  "CMakeFiles/rls_rdb.dir/value.cpp.o.d"
+  "CMakeFiles/rls_rdb.dir/wal.cpp.o"
+  "CMakeFiles/rls_rdb.dir/wal.cpp.o.d"
+  "librls_rdb.a"
+  "librls_rdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_rdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rls/bootstrap.cpp" "src/rls/CMakeFiles/rls_core.dir/bootstrap.cpp.o" "gcc" "src/rls/CMakeFiles/rls_core.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/rls/client.cpp" "src/rls/CMakeFiles/rls_core.dir/client.cpp.o" "gcc" "src/rls/CMakeFiles/rls_core.dir/client.cpp.o.d"
+  "/root/repo/src/rls/locator.cpp" "src/rls/CMakeFiles/rls_core.dir/locator.cpp.o" "gcc" "src/rls/CMakeFiles/rls_core.dir/locator.cpp.o.d"
+  "/root/repo/src/rls/lrc_store.cpp" "src/rls/CMakeFiles/rls_core.dir/lrc_store.cpp.o" "gcc" "src/rls/CMakeFiles/rls_core.dir/lrc_store.cpp.o.d"
+  "/root/repo/src/rls/protocol.cpp" "src/rls/CMakeFiles/rls_core.dir/protocol.cpp.o" "gcc" "src/rls/CMakeFiles/rls_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/rls/rli_store.cpp" "src/rls/CMakeFiles/rls_core.dir/rli_store.cpp.o" "gcc" "src/rls/CMakeFiles/rls_core.dir/rli_store.cpp.o.d"
+  "/root/repo/src/rls/rls_server.cpp" "src/rls/CMakeFiles/rls_core.dir/rls_server.cpp.o" "gcc" "src/rls/CMakeFiles/rls_core.dir/rls_server.cpp.o.d"
+  "/root/repo/src/rls/update_manager.cpp" "src/rls/CMakeFiles/rls_core.dir/update_manager.cpp.o" "gcc" "src/rls/CMakeFiles/rls_core.dir/update_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/rls_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdb/CMakeFiles/rls_rdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/rls_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbapi/CMakeFiles/rls_dbapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsi/CMakeFiles/rls_gsi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

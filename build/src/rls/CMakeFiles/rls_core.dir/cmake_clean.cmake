@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_core.dir/bootstrap.cpp.o"
+  "CMakeFiles/rls_core.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/rls_core.dir/client.cpp.o"
+  "CMakeFiles/rls_core.dir/client.cpp.o.d"
+  "CMakeFiles/rls_core.dir/locator.cpp.o"
+  "CMakeFiles/rls_core.dir/locator.cpp.o.d"
+  "CMakeFiles/rls_core.dir/lrc_store.cpp.o"
+  "CMakeFiles/rls_core.dir/lrc_store.cpp.o.d"
+  "CMakeFiles/rls_core.dir/protocol.cpp.o"
+  "CMakeFiles/rls_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/rls_core.dir/rli_store.cpp.o"
+  "CMakeFiles/rls_core.dir/rli_store.cpp.o.d"
+  "CMakeFiles/rls_core.dir/rls_server.cpp.o"
+  "CMakeFiles/rls_core.dir/rls_server.cpp.o.d"
+  "CMakeFiles/rls_core.dir/update_manager.cpp.o"
+  "CMakeFiles/rls_core.dir/update_manager.cpp.o.d"
+  "librls_core.a"
+  "librls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

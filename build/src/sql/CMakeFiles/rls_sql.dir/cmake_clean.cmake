@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_sql.dir/engine.cpp.o"
+  "CMakeFiles/rls_sql.dir/engine.cpp.o.d"
+  "CMakeFiles/rls_sql.dir/lexer.cpp.o"
+  "CMakeFiles/rls_sql.dir/lexer.cpp.o.d"
+  "CMakeFiles/rls_sql.dir/parser.cpp.o"
+  "CMakeFiles/rls_sql.dir/parser.cpp.o.d"
+  "librls_sql.a"
+  "librls_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

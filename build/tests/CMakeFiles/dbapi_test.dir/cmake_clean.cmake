@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbapi_test.dir/dbapi_test.cpp.o"
+  "CMakeFiles/dbapi_test.dir/dbapi_test.cpp.o.d"
+  "dbapi_test"
+  "dbapi_test.pdb"
+  "dbapi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbapi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locator_test.dir/locator_test.cpp.o"
+  "CMakeFiles/locator_test.dir/locator_test.cpp.o.d"
+  "locator_test"
+  "locator_test.pdb"
+  "locator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lrc_store_test.cpp" "tests/CMakeFiles/lrc_store_test.dir/lrc_store_test.cpp.o" "gcc" "tests/CMakeFiles/lrc_store_test.dir/lrc_store_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rls/CMakeFiles/rls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbapi/CMakeFiles/rls_dbapi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/rls_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdb/CMakeFiles/rls_rdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/rls_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsi/CMakeFiles/rls_gsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rls_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

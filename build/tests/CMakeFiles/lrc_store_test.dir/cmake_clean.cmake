@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_store_test.dir/lrc_store_test.cpp.o"
+  "CMakeFiles/lrc_store_test.dir/lrc_store_test.cpp.o.d"
+  "lrc_store_test"
+  "lrc_store_test.pdb"
+  "lrc_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

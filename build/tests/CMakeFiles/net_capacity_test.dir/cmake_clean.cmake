@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_capacity_test.dir/net_capacity_test.cpp.o"
+  "CMakeFiles/net_capacity_test.dir/net_capacity_test.cpp.o.d"
+  "net_capacity_test"
+  "net_capacity_test.pdb"
+  "net_capacity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_capacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

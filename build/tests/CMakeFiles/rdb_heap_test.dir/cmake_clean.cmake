@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdb_heap_test.dir/rdb_heap_test.cpp.o"
+  "CMakeFiles/rdb_heap_test.dir/rdb_heap_test.cpp.o.d"
+  "rdb_heap_test"
+  "rdb_heap_test.pdb"
+  "rdb_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdb_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

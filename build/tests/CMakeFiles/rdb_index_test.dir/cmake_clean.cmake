@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdb_index_test.dir/rdb_index_test.cpp.o"
+  "CMakeFiles/rdb_index_test.dir/rdb_index_test.cpp.o.d"
+  "rdb_index_test"
+  "rdb_index_test.pdb"
+  "rdb_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdb_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

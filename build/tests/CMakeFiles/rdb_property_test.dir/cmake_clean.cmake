@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdb_property_test.dir/rdb_property_test.cpp.o"
+  "CMakeFiles/rdb_property_test.dir/rdb_property_test.cpp.o.d"
+  "rdb_property_test"
+  "rdb_property_test.pdb"
+  "rdb_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdb_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdb_table_test.dir/rdb_table_test.cpp.o"
+  "CMakeFiles/rdb_table_test.dir/rdb_table_test.cpp.o.d"
+  "rdb_table_test"
+  "rdb_table_test.pdb"
+  "rdb_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdb_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

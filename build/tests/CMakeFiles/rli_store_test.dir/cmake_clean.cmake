@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rli_store_test.dir/rli_store_test.cpp.o"
+  "CMakeFiles/rli_store_test.dir/rli_store_test.cpp.o.d"
+  "rli_store_test"
+  "rli_store_test.pdb"
+  "rli_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rli_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

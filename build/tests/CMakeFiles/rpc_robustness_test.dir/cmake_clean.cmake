@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_robustness_test.dir/rpc_robustness_test.cpp.o"
+  "CMakeFiles/rpc_robustness_test.dir/rpc_robustness_test.cpp.o.d"
+  "rpc_robustness_test"
+  "rpc_robustness_test.pdb"
+  "rpc_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softstate_test.dir/softstate_test.cpp.o"
+  "CMakeFiles/softstate_test.dir/softstate_test.cpp.o.d"
+  "softstate_test"
+  "softstate_test.pdb"
+  "softstate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softstate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

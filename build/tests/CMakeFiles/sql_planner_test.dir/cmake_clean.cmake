@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_planner_test.dir/sql_planner_test.cpp.o"
+  "CMakeFiles/sql_planner_test.dir/sql_planner_test.cpp.o.d"
+  "sql_planner_test"
+  "sql_planner_test.pdb"
+  "sql_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
