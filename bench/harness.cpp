@@ -87,7 +87,37 @@ void Table::Print() const {
 Testbed::Testbed() = default;
 
 Testbed::~Testbed() {
+  WriteServerSnapshots();
   for (auto& server : servers_) server->Stop();
+}
+
+void Testbed::WriteServerSnapshots() {
+  const char* path = std::getenv("RLS_BENCH_JSON");
+  if (!path || !*path) return;
+  FILE* f = std::fopen(path, "a");
+  if (!f) {
+    std::fprintf(stderr, "cannot open RLS_BENCH_JSON file %s\n", path);
+    return;
+  }
+  for (auto& server : servers_) {
+    const rls::GetStatsResponse snap = server->GetStatsSnapshot();
+    char extra[512];
+    std::snprintf(extra, sizeof(extra),
+                  "\"server\": \"%s\", \"role\": \"%s\", \"uptime_seconds\": %.3f, "
+                  "\"lfn_count\": %llu, \"mapping_count\": %llu, "
+                  "\"requests_served\": %llu, \"updates_received\": %llu, "
+                  "\"updates_sent\": %llu, \"bloom_filters\": %llu",
+                  server->url().c_str(), snap.role.c_str(), snap.uptime_seconds,
+                  static_cast<unsigned long long>(snap.vitals.lfn_count),
+                  static_cast<unsigned long long>(snap.vitals.mapping_count),
+                  static_cast<unsigned long long>(snap.vitals.requests_served),
+                  static_cast<unsigned long long>(snap.vitals.updates_received),
+                  static_cast<unsigned long long>(snap.vitals.updates_sent),
+                  static_cast<unsigned long long>(snap.vitals.bloom_filters));
+    const std::string line = server->metrics_registry()->RenderJson(extra);
+    std::fprintf(f, "%s\n", line.c_str());
+  }
+  std::fclose(f);
 }
 
 rls::RlsServer* Testbed::StartLrc(const std::string& address,

@@ -55,6 +55,11 @@ class Table {
 };
 
 /// One in-process "testbed": network + database environment + servers.
+///
+/// When RLS_BENCH_JSON names a file, the destructor appends one JSON
+/// line per server — the full obs registry snapshot plus vitals — so
+/// server-side metrics land next to the client-side rates with zero
+/// changes to individual benches.
 class Testbed {
  public:
   Testbed();
@@ -79,6 +84,8 @@ class Testbed {
                const std::string& corpus = "bench");
 
  private:
+  void WriteServerSnapshots();
+
   net::Network network_;
   dbapi::Environment env_;
   std::vector<std::unique_ptr<rls::RlsServer>> servers_;

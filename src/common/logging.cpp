@@ -1,7 +1,12 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <mutex>
+
+#include "common/trace_context.h"
 
 namespace rlscommon {
 namespace {
@@ -20,6 +25,21 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Monotonic microseconds since the first log line of the process.
+int64_t MonotonicMicros() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Small dense per-thread id (std::thread::id is opaque and wide).
+uint32_t ThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -32,10 +52,22 @@ LogLevel GetLogLevel() {
 
 void LogLine(LogLevel level, std::string_view component, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  const int64_t t_us = MonotonicMicros();
+  const uint32_t tid = ThreadId();
+  const TraceContext trace = CurrentTrace();
   std::lock_guard<std::mutex> lock(g_io_mu);
-  std::fprintf(stderr, "[%s] [%.*s] %.*s\n", LevelName(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  if (trace.valid()) {
+    std::fprintf(stderr,
+                 "[%10.6f] [%s] [%.*s] [tid %" PRIu32 "] %.*s trace=%016" PRIx64 "\n",
+                 static_cast<double>(t_us) / 1e6, LevelName(level),
+                 static_cast<int>(component.size()), component.data(), tid,
+                 static_cast<int>(message.size()), message.data(), trace.trace_id);
+  } else {
+    std::fprintf(stderr, "[%10.6f] [%s] [%.*s] [tid %" PRIu32 "] %.*s\n",
+                 static_cast<double>(t_us) / 1e6, LevelName(level),
+                 static_cast<int>(component.size()), component.data(), tid,
+                 static_cast<int>(message.size()), message.data());
+  }
 }
 
 }  // namespace rlscommon

@@ -16,8 +16,11 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits one formatted line ("[level] [component] message") to stderr.
-/// Thread-safe; a single line is never interleaved with another.
+/// Emits one formatted line to stderr:
+///   [<monotonic seconds>] [level] [component] [tid N] message [trace=<id>]
+/// The trace field appears when the calling thread has a trace context
+/// installed (common/trace_context.h). Thread-safe; a single line is
+/// never interleaved with another.
 void LogLine(LogLevel level, std::string_view component, std::string_view message);
 
 namespace internal {

@@ -26,9 +26,14 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) throw std::runtime_error("ThreadPool(" + name_ + "): submit after shutdown");
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{std::move(task), std::chrono::steady_clock::now()});
   }
   work_cv_.notify_one();
+}
+
+void ThreadPool::BindMetrics(MetricHooks hooks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_ = hooks;
 }
 
 void ThreadPool::Wait() {
@@ -43,7 +48,8 @@ std::size_t ThreadPool::QueueDepth() const {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
+    MetricHooks hooks;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -54,8 +60,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      hooks = hooks_;
     }
-    task();
+    const auto start = std::chrono::steady_clock::now();
+    if (hooks.queue_wait) hooks.queue_wait->Record(start - task.enqueued);
+    task.fn();
+    if (hooks.run_time) hooks.run_time->Record(std::chrono::steady_clock::now() - start);
+    if (hooks.tasks_completed) {
+      hooks.tasks_completed->fetch_add(1, std::memory_order_relaxed);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

@@ -4,6 +4,8 @@
 // multi-threaded, §3.1) and by benchmarks to drive multi-threaded clients.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -11,6 +13,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/histogram.h"
 
 namespace rlscommon {
 
@@ -49,13 +53,29 @@ class ThreadPool {
   /// Number of tasks queued but not yet started.
   std::size_t QueueDepth() const;
 
+  /// Optional instrument sinks (raw pointers keep this module free of a
+  /// dependency on obs; the obs registry hands out exactly these types).
+  /// All sinks must outlive the pool. nullptr entries are skipped.
+  struct MetricHooks {
+    LatencyHistogram* queue_wait = nullptr;       // Submit -> task start
+    LatencyHistogram* run_time = nullptr;         // task start -> finish
+    std::atomic<uint64_t>* tasks_completed = nullptr;
+  };
+  void BindMetrics(MetricHooks hooks);
+
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
+  MetricHooks hooks_;  // set before workers see tasks; guarded by mu_
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;
   bool shutdown_ = false;

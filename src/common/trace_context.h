@@ -1,0 +1,38 @@
+// Thread-local trace context primitive.
+//
+// A trace follows one logical operation across layers: the RPC client
+// stamps the current context into each outgoing frame, the RPC server
+// installs the received context around its handler, and the logger
+// appends "trace=<id>" to every line emitted while a context is set.
+// The ergonomic API (span timing, id generation, RAII scoping) lives in
+// src/obs/trace.h; only the raw slot lives here so rlscommon::logging
+// can read it without depending on the obs module.
+#pragma once
+
+#include <cstdint>
+
+namespace rlscommon {
+
+/// 64-bit trace id (one per end-to-end operation) plus span id (one per
+/// hop). Zero trace_id = no trace.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+  bool operator==(const TraceContext&) const = default;
+};
+
+/// The calling thread's current context (mutable slot).
+inline TraceContext& MutableCurrentTrace() {
+  thread_local TraceContext context;
+  return context;
+}
+
+inline TraceContext CurrentTrace() { return MutableCurrentTrace(); }
+
+inline void SetCurrentTrace(TraceContext context) {
+  MutableCurrentTrace() = context;
+}
+
+}  // namespace rlscommon

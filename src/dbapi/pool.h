@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "dbapi/dbapi.h"
+#include "obs/metrics.h"
 
 namespace dbapi {
 
@@ -60,19 +62,41 @@ class ConnectionPool {
     std::unique_ptr<Connection> conn_;
   };
 
+  /// Registers this pool's instruments in `registry`, labeled
+  /// pool=<pool_label>: db_pool_acquires_total,
+  /// db_pool_connections_created_total, db_pool_acquire_wait_us,
+  /// db_pool_idle_connections, db_pool_in_use. The registry must outlive
+  /// the pool. Call before the pool is shared across threads.
+  void BindMetrics(obs::Registry* registry, const std::string& pool_label) {
+    const std::string labels = obs::Label("pool", pool_label);
+    acquires_ = registry->GetCounter("db_pool_acquires_total", labels);
+    created_ = registry->GetCounter("db_pool_connections_created_total", labels);
+    acquire_wait_ = registry->GetHistogram("db_pool_acquire_wait_us", labels);
+    idle_gauge_ = registry->GetGauge("db_pool_idle_connections", labels);
+    in_use_ = registry->GetGauge("db_pool_in_use", labels);
+  }
+
   /// Leases a connection (creating one if the pool is empty).
   rlscommon::Status Acquire(Lease* out) {
+    rlscommon::Stopwatch timer;
+    if (acquires_) acquires_->Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (!idle_.empty()) {
         *out = Lease(this, std::move(idle_.back()));
         idle_.pop_back();
+        if (idle_gauge_) idle_gauge_->Set(static_cast<int64_t>(idle_.size()));
+        if (in_use_) in_use_->Add();
+        if (acquire_wait_) acquire_wait_->Record(timer.Elapsed());
         return rlscommon::Status::Ok();
       }
     }
     std::unique_ptr<Connection> conn;
     rlscommon::Status s = Connection::Open(env_, dsn_, &conn);
     if (!s.ok()) return s;
+    if (created_) created_->Increment();
+    if (in_use_) in_use_->Add();
+    if (acquire_wait_) acquire_wait_->Record(timer.Elapsed());
     *out = Lease(this, std::move(conn));
     return rlscommon::Status::Ok();
   }
@@ -89,12 +113,21 @@ class ConnectionPool {
   void Return(std::unique_ptr<Connection> conn) {
     std::lock_guard<std::mutex> lock(mu_);
     idle_.push_back(std::move(conn));
+    if (idle_gauge_) idle_gauge_->Set(static_cast<int64_t>(idle_.size()));
+    if (in_use_) in_use_->Sub();
   }
 
   Environment& env_;
   std::string dsn_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Connection>> idle_;
+
+  // Optional instruments (owned by the bound registry); null = unbound.
+  obs::Counter* acquires_ = nullptr;
+  obs::Counter* created_ = nullptr;
+  obs::Histogram* acquire_wait_ = nullptr;
+  obs::Gauge* idle_gauge_ = nullptr;
+  obs::Gauge* in_use_ = nullptr;
 };
 
 }  // namespace dbapi

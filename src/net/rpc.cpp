@@ -1,7 +1,9 @@
 #include "net/rpc.h"
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "net/serialize.h"
+#include "obs/trace.h"
 
 namespace net {
 
@@ -34,6 +36,11 @@ RpcServer::RpcServer(Network* network, std::string address, ServerOptions option
 RpcServer::~RpcServer() { Stop(); }
 
 Status RpcServer::Start() {
+  if (options_.metrics) {
+    options_.metrics->RegisterCallback(
+        "rpc_active_connections", "",
+        [this] { return static_cast<double>(active_connections()); });
+  }
   Status s = network_->Listen(address_, [this](ConnectionPtr conn) {
     std::shared_ptr<Connection> shared(conn.release());
     std::lock_guard<std::mutex> lock(mu_);
@@ -50,6 +57,9 @@ Status RpcServer::Start() {
 
 void RpcServer::Stop() {
   if (!started_) return;
+  if (options_.metrics) {
+    options_.metrics->UnregisterCallback("rpc_active_connections", "");
+  }
   stopping_.store(true);
   network_->StopListening(address_);
   {
@@ -75,6 +85,34 @@ std::size_t RpcServer::active_connections() const {
   return connections_.size();
 }
 
+const RpcServer::OpMetrics* RpcServer::MetricsFor(uint16_t opcode) {
+  if (!options_.metrics) return nullptr;
+  // Real opcodes are all < 256; anything larger takes the locked path
+  // every time rather than growing the cache unboundedly.
+  const bool cacheable = opcode < kOpcodeCacheSize;
+  if (cacheable) {
+    OpMetrics* cached = op_metrics_[opcode].load(std::memory_order_acquire);
+    if (cached) return cached;
+  }
+  std::lock_guard<std::mutex> lock(op_metrics_mu_);
+  if (cacheable) {
+    OpMetrics* cached = op_metrics_[opcode].load(std::memory_order_acquire);
+    if (cached) return cached;
+  }
+  const std::string method = options_.opcode_name ? options_.opcode_name(opcode)
+                                                  : std::to_string(opcode);
+  const std::string labels = obs::Label("method", method);
+  auto metrics = std::make_unique<OpMetrics>();
+  metrics->requests = options_.metrics->GetCounter("rpc_requests_total", labels);
+  metrics->errors = options_.metrics->GetCounter("rpc_errors_total", labels);
+  metrics->latency =
+      options_.metrics->GetHistogram("rpc_request_latency_us", labels);
+  OpMetrics* raw = metrics.get();
+  op_metrics_storage_.push_back(std::move(metrics));
+  if (cacheable) op_metrics_[opcode].store(raw, std::memory_order_release);
+  return raw;
+}
+
 void RpcServer::ServeConnection(std::shared_ptr<Connection> conn) {
   gsi::AuthContext context;
   bool authenticated = false;
@@ -84,6 +122,8 @@ void RpcServer::ServeConnection(std::shared_ptr<Connection> conn) {
     reply.request_id = msg.request_id;
     reply.opcode = msg.opcode;
     reply.flags = Message::kFlagResponse;
+    reply.trace_id = msg.trace_id;
+    reply.span_id = msg.span_id;
 
     Status status;
     if (msg.opcode == kOpcodeAuth) {
@@ -93,7 +133,18 @@ void RpcServer::ServeConnection(std::shared_ptr<Connection> conn) {
     } else if (!authenticated) {
       status = Status::Unauthenticated("handshake required before requests");
     } else {
+      const OpMetrics* metrics = MetricsFor(msg.opcode);
+      // Make the caller's trace ambient for the handler (and anything it
+      // triggers on this thread, e.g. synchronous soft-state sends).
+      obs::ScopedTrace trace(
+          obs::TraceContext{msg.trace_id, msg.span_id});
+      rlscommon::Stopwatch timer;
       status = handler_(context, msg.opcode, msg.payload, &reply.payload);
+      if (metrics) {
+        metrics->requests->Increment();
+        metrics->latency->Record(timer.Elapsed());
+        if (!status.ok()) metrics->errors->Increment();
+      }
       requests_.fetch_add(1, std::memory_order_relaxed);
     }
     if (!status.ok()) {
@@ -127,6 +178,11 @@ Status RpcClient::Call(uint16_t opcode, const std::string& request,
   msg.request_id = request_id;
   msg.opcode = opcode;
   msg.payload = request;
+  // Propagate the ambient trace, or start a root trace at this edge.
+  // Each call gets its own span id under the trace.
+  rlscommon::TraceContext trace = rlscommon::CurrentTrace();
+  msg.trace_id = trace.valid() ? trace.trace_id : obs::NewTraceId();
+  msg.span_id = obs::NewTraceId();
   Status s = conn_->Send(std::move(msg));
   if (!s.ok()) return s;
   Message reply;

@@ -11,6 +11,7 @@
 // responses carry {u8 error code, string message}.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <map>
@@ -22,6 +23,7 @@
 
 #include "gsi/gsi.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace net {
 
@@ -43,6 +45,16 @@ using RpcHandler = std::function<rlscommon::Status(
 struct ServerOptions {
   std::string name = "rls-server";
   gsi::AuthManager auth = gsi::AuthManager::Open();
+
+  /// When set, the server registers per-method instruments here:
+  ///   rpc_requests_total{method=...}, rpc_errors_total{method=...},
+  ///   rpc_request_latency_us{method=...}, rpc_active_connections.
+  /// The registry must outlive the server.
+  obs::Registry* metrics = nullptr;
+
+  /// Renders an opcode as the `method` label value (e.g. rls::OpName).
+  /// Unset = the decimal opcode.
+  std::function<std::string(uint16_t)> opcode_name;
 };
 
 class RpcServer {
@@ -65,7 +77,17 @@ class RpcServer {
   std::size_t active_connections() const;
 
  private:
+  /// Per-opcode instrument pointers, resolved once per opcode and cached
+  /// so the request hot path does no registry (map+mutex) lookups.
+  struct OpMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+  static constexpr std::size_t kOpcodeCacheSize = 256;
+
   void ServeConnection(std::shared_ptr<Connection> conn);
+  const OpMetrics* MetricsFor(uint16_t opcode);
 
   Network* network_;
   std::string address_;
@@ -74,6 +96,11 @@ class RpcServer {
   std::atomic<uint64_t> requests_{0};
   std::atomic<bool> stopping_{false};
   bool started_ = false;
+
+  // Cache slots are created lazily and retired only at destruction.
+  std::array<std::atomic<OpMetrics*>, kOpcodeCacheSize> op_metrics_{};
+  std::mutex op_metrics_mu_;
+  std::vector<std::unique_ptr<OpMetrics>> op_metrics_storage_;
 
   mutable std::mutex mu_;
   uint64_t next_conn_id_ = 0;

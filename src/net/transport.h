@@ -28,7 +28,9 @@
 namespace net {
 
 /// One framed message. `opcode` dispatches; `flags` marks responses and
-/// errors; `request_id` matches responses to calls.
+/// errors; `request_id` matches responses to calls. `trace_id`/`span_id`
+/// carry the trace context of the originating client operation in the
+/// frame header (common/trace_context.h); 0 = untraced.
 struct Message {
   static constexpr uint8_t kFlagResponse = 1;
   static constexpr uint8_t kFlagError = 2;
@@ -36,9 +38,11 @@ struct Message {
   uint32_t request_id = 0;
   uint16_t opcode = 0;
   uint8_t flags = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
   std::string payload;
 
-  std::size_t WireBytes() const { return 16 + payload.size(); }  // header + body
+  std::size_t WireBytes() const { return 32 + payload.size(); }  // header + body
   bool is_response() const { return flags & kFlagResponse; }
   bool is_error() const { return flags & kFlagError; }
 };

@@ -1,0 +1,65 @@
+// Periodic JSONL snapshot exporter (tentpole part 3, exporter half).
+//
+// Appends one JSON line per period to a configured path so the bench
+// harness (and any external tooling) can record server-side metrics
+// alongside client-side rates. The render callback produces the line;
+// when a ThreadPool is supplied the write runs as a pool task, so the
+// pool's queue/latency instruments see real traffic.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace obs {
+
+class JsonlExporter {
+ public:
+  struct Options {
+    std::string path;                          // empty = exporter disabled
+    std::chrono::milliseconds period{1000};
+  };
+
+  /// `render_line` is called once per period (and once on Stop) from the
+  /// exporter thread or `pool`; its result is appended as one line.
+  JsonlExporter(Options options, std::function<std::string()> render_line,
+                rlscommon::ThreadPool* pool = nullptr);
+  ~JsonlExporter();
+
+  JsonlExporter(const JsonlExporter&) = delete;
+  JsonlExporter& operator=(const JsonlExporter&) = delete;
+
+  /// No-op (Ok) when no path is configured.
+  rlscommon::Status Start();
+
+  /// Writes one final snapshot, then joins the exporter thread.
+  void Stop();
+
+  /// Renders and appends one line immediately (also used by tests).
+  rlscommon::Status ExportNow();
+
+  uint64_t lines_written() const { return lines_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+  rlscommon::Status Append(const std::string& line);
+
+  Options options_;
+  std::function<std::string()> render_line_;
+  rlscommon::ThreadPool* pool_;
+
+  std::atomic<uint64_t> lines_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace obs

@@ -1,0 +1,141 @@
+// Metrics registry: named, labeled counters, gauges and histograms.
+//
+// The paper's evaluation (§4–§6) measures the RLS from the outside; this
+// registry gives every server an internal monitoring surface in the
+// style of the Qserv replication registry and MDS2 (Zhang et al.): each
+// component registers instruments once (under a mutex), then updates
+// them on the hot path with plain atomic operations — no lock is ever
+// taken on a counter increment. Snapshot() renders the whole registry as
+// a structured list; RenderPrometheus() emits the text exposition format
+// for scraping, and RenderJson() one JSON object for the JSONL exporter.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace obs {
+
+/// Monotonically increasing count (requests served, bytes sent...).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Underlying atomic, for components (ThreadPool) that update raw
+  /// atomics to stay independent of this module.
+  std::atomic<uint64_t>* raw() { return &value_; }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (queue depth, resident filters...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Latency distribution; thin wrapper over the lock-free log-bucket
+/// histogram so registry instruments share one implementation.
+class Histogram {
+ public:
+  void Record(std::chrono::nanoseconds latency) { hist_.Record(latency); }
+  void RecordMicros(uint64_t micros) { hist_.RecordMicros(micros); }
+  rlscommon::LatencyHistogram::Snapshot GetSnapshot() const {
+    return hist_.GetSnapshot();
+  }
+
+  /// Underlying histogram, for components instrumented with raw
+  /// LatencyHistogram pointers (ThreadPool).
+  rlscommon::LatencyHistogram* raw() { return &hist_; }
+
+ private:
+  rlscommon::LatencyHistogram hist_;
+};
+
+enum class MetricKind : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+/// One rendered instrument in a registry snapshot.
+struct Sample {
+  std::string name;
+  std::string labels;  // rendered label list, e.g. method="lrc_add" (may be empty)
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;  // counter / gauge value
+  rlscommon::LatencyHistogram::Snapshot hist;  // histogram kind only
+};
+
+struct Snapshot {
+  std::vector<Sample> samples;
+};
+
+/// Renders one label pair for instrument registration: Label("method",
+/// "lrc_add") -> method="lrc_add".
+std::string Label(std::string_view key, std::string_view value);
+
+/// Instrument registry. Registration (Get*/RegisterCallback) takes a
+/// mutex and returns a stable pointer; repeated Get* with the same
+/// name+labels returns the same instrument. Updates through the returned
+/// pointers are lock-free. Snapshots iterate the instrument map under
+/// the registration mutex (monitoring path, not hot).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "");
+  Histogram* GetHistogram(const std::string& name, const std::string& labels = "");
+
+  /// Gauge whose value is computed at snapshot time (store sizes, queue
+  /// depths). The callback must stay valid for the registry's lifetime
+  /// or until UnregisterCallback(name, labels).
+  void RegisterCallback(const std::string& name, const std::string& labels,
+                        std::function<double()> callback);
+  void UnregisterCallback(const std::string& name, const std::string& labels);
+
+  /// All instruments, sorted by (name, labels) — deterministic.
+  Snapshot TakeSnapshot() const;
+
+  /// Prometheus text exposition of TakeSnapshot(). Histograms render
+  /// their summary as _count/_mean/_p50/_p95/_p99/_max series.
+  std::string RenderPrometheus() const;
+
+  /// One JSON object {"metrics": [...]}; extra top-level fields from
+  /// `extra` (pre-rendered "key": value fragments) are spliced in front.
+  std::string RenderJson(const std::string& extra = "") const;
+
+  /// Number of registered instruments (callbacks included).
+  std::size_t size() const;
+
+ private:
+  struct Instrument {
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> callback;  // callback gauges
+  };
+
+  using Key = std::pair<std::string, std::string>;  // {name, labels}
+
+  mutable std::mutex mu_;
+  std::map<Key, Instrument> instruments_;
+};
+
+}  // namespace obs

@@ -1,0 +1,72 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace obs {
+
+uint64_t NewTraceId() {
+  // A global counter pushed through SplitMix64: process-unique, well
+  // mixed, and cheaper than a per-thread PRNG for an id-per-RPC rate.
+  static std::atomic<uint64_t> next{0x9e3779b97f4a7c15ULL};
+  uint64_t state = next.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
+  uint64_t id = rlscommon::SplitMix64(state);
+  return id != 0 ? id : 1;
+}
+
+std::string TraceIdToString(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+namespace {
+std::atomic<int64_t> g_slow_span_us{0};
+}  // namespace
+
+void SetSlowSpanThreshold(std::chrono::microseconds threshold) {
+  g_slow_span_us.store(threshold.count(), std::memory_order_relaxed);
+}
+
+std::chrono::microseconds GetSlowSpanThreshold() {
+  return std::chrono::microseconds(g_slow_span_us.load(std::memory_order_relaxed));
+}
+
+Span::Span(std::string_view component, std::string_view name)
+    : component_(component),
+      name_(name),
+      context_(CurrentTrace()),
+      start_(std::chrono::steady_clock::now()) {}
+
+std::chrono::nanoseconds Span::Elapsed() const {
+  return std::chrono::steady_clock::now() - start_;
+}
+
+void Span::Hop(std::string_view what) {
+  hops_.emplace_back(std::string(what), Elapsed());
+}
+
+Span::~Span() {
+  const int64_t threshold_us = g_slow_span_us.load(std::memory_order_relaxed);
+  if (threshold_us <= 0) return;
+  const auto elapsed = Elapsed();
+  const int64_t elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  if (elapsed_us < threshold_us) return;
+  if (!RLS_LOG_ENABLED(rlscommon::LogLevel::kWarn)) return;
+  // The destructor may run after ScopedTrace restored the caller's
+  // context; reinstall the span's own context so the line carries it.
+  ScopedTrace scope(context_);
+  rlscommon::internal::LogMessage line(rlscommon::LogLevel::kWarn, component_);
+  line << "slow span " << name_ << " took " << elapsed_us << "us (threshold "
+       << threshold_us << "us)";
+  for (const auto& [what, at] : hops_) {
+    line << " " << what << "=+"
+         << std::chrono::duration_cast<std::chrono::microseconds>(at).count() << "us";
+  }
+}
+
+}  // namespace obs

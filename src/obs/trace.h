@@ -1,0 +1,83 @@
+// RPC trace propagation (tentpole part 2).
+//
+// A 64-bit trace id is generated at the client edge (net::RpcClient
+// stamps one on every call that has no ambient context), carried in the
+// RPC frame header, and installed as the thread-local context while a
+// server handles the request. Every log line emitted under a context
+// carries "trace=<id>", and soft-state update hops re-stamp the same id,
+// so one LRC add can be followed through WAL write, update batching and
+// RLI ingest.
+//
+// Span measures one hop; hops within a span record named intermediate
+// timestamps. A span slower than the configured threshold logs at WARN
+// with its full hop timing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/trace_context.h"
+
+namespace obs {
+
+using rlscommon::CurrentTrace;
+using rlscommon::SetCurrentTrace;
+using rlscommon::TraceContext;
+
+/// Process-unique, well-mixed 64-bit id (never 0).
+uint64_t NewTraceId();
+
+/// Formats an id the way log lines and tools render it (16 hex digits).
+std::string TraceIdToString(uint64_t id);
+
+/// Installs a context on the calling thread, restoring the previous one
+/// on destruction.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(TraceContext context) : saved_(CurrentTrace()) {
+    SetCurrentTrace(context);
+  }
+  /// Starts a fresh root trace.
+  ScopedTrace() : ScopedTrace(TraceContext{NewTraceId(), NewTraceId()}) {}
+  ~ScopedTrace() { SetCurrentTrace(saved_); }
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// Spans slower than this log at WARN with their hop timing
+/// (0 disables). Process-wide; default 0.
+void SetSlowSpanThreshold(std::chrono::microseconds threshold);
+std::chrono::microseconds GetSlowSpanThreshold();
+
+/// One timed hop under the current trace context. Cheap when below the
+/// slow threshold: two clock reads and (if any) a small vector.
+class Span {
+ public:
+  /// `component` and `name` appear in the WARN line ("rli", "ss_bloom").
+  Span(std::string_view component, std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Records a named intermediate timestamp ("wal_write", "db_commit").
+  void Hop(std::string_view what);
+
+  std::chrono::nanoseconds Elapsed() const;
+
+ private:
+  std::string component_;
+  std::string name_;
+  TraceContext context_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::chrono::nanoseconds>> hops_;
+};
+
+}  // namespace obs

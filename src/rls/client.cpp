@@ -298,6 +298,13 @@ Status LrcClient::Metrics(MetricsResponse* metrics) {
   return MetricsResponse::Decode(response, metrics);
 }
 
+Status LrcClient::GetStats(GetStatsResponse* stats) {
+  std::string response;
+  Status s = rpc_->Call(kServerGetStats, "", &response);
+  if (!s.ok()) return s;
+  return GetStatsResponse::Decode(response, stats);
+}
+
 Status RliClient::Connect(net::Network* network, const std::string& address,
                           const ClientConfig& config, std::unique_ptr<RliClient>* out) {
   std::unique_ptr<net::RpcClient> rpc;
@@ -373,6 +380,13 @@ Status RliClient::Stats(ServerStats* stats) {
   Status s = rpc_->Call(kServerStats, "", &response);
   if (!s.ok()) return s;
   return DecodeStats(response, stats);
+}
+
+Status RliClient::GetStats(GetStatsResponse* stats) {
+  std::string response;
+  Status s = rpc_->Call(kServerGetStats, "", &response);
+  if (!s.ok()) return s;
+  return GetStatsResponse::Decode(response, stats);
 }
 
 }  // namespace rls

@@ -90,6 +90,8 @@ class LrcClient {
   rlscommon::Status Stats(ServerStats* stats);
   /// Per-operation-family latency histograms (monitoring).
   rlscommon::Status Metrics(MetricsResponse* metrics);
+  /// Full introspection snapshot (requires the kStats privilege).
+  rlscommon::Status GetStats(GetStatsResponse* stats);
 
  private:
   explicit LrcClient(std::unique_ptr<net::RpcClient> rpc) : rpc_(std::move(rpc)) {}
@@ -127,6 +129,8 @@ class RliClient {
 
   rlscommon::Status Ping();
   rlscommon::Status Stats(ServerStats* stats);
+  /// Full introspection snapshot (requires the kStats privilege).
+  rlscommon::Status GetStats(GetStatsResponse* stats);
 
  private:
   explicit RliClient(std::unique_ptr<net::RpcClient> rpc) : rpc_(std::move(rpc)) {}

@@ -7,6 +7,49 @@ using net::TruncatedMessage;
 using net::Writer;
 using rlscommon::Status;
 
+std::string OpName(uint16_t opcode) {
+  switch (opcode) {
+    case kPing: return "ping";
+    case kServerStats: return "server_stats";
+    case kServerMetrics: return "server_metrics";
+    case kServerGetStats: return "server_get_stats";
+    case kLrcCreate: return "lrc_create";
+    case kLrcAdd: return "lrc_add";
+    case kLrcDelete: return "lrc_delete";
+    case kLrcBulkCreate: return "lrc_bulk_create";
+    case kLrcBulkAdd: return "lrc_bulk_add";
+    case kLrcBulkDelete: return "lrc_bulk_delete";
+    case kLrcQueryLfn: return "lrc_query_lfn";
+    case kLrcQueryPfn: return "lrc_query_pfn";
+    case kLrcBulkQueryLfn: return "lrc_bulk_query_lfn";
+    case kLrcWildcardQueryLfn: return "lrc_wildcard_query_lfn";
+    case kLrcExists: return "lrc_exists";
+    case kLrcAttrDefine: return "lrc_attr_define";
+    case kLrcAttrAdd: return "lrc_attr_add";
+    case kLrcAttrModify: return "lrc_attr_modify";
+    case kLrcAttrDelete: return "lrc_attr_delete";
+    case kLrcAttrQueryObj: return "lrc_attr_query_obj";
+    case kLrcAttrSearch: return "lrc_attr_search";
+    case kLrcBulkAttrAdd: return "lrc_bulk_attr_add";
+    case kLrcBulkAttrDelete: return "lrc_bulk_attr_delete";
+    case kLrcAttrUndefine: return "lrc_attr_undefine";
+    case kLrcRliList: return "lrc_rli_list";
+    case kLrcRliAdd: return "lrc_rli_add";
+    case kLrcRliRemove: return "lrc_rli_remove";
+    case kLrcForceUpdate: return "lrc_force_update";
+    case kRliQueryLfn: return "rli_query_lfn";
+    case kRliBulkQuery: return "rli_bulk_query";
+    case kRliWildcardQuery: return "rli_wildcard_query";
+    case kRliLrcList: return "rli_lrc_list";
+    case kSsFullBegin: return "ss_full_begin";
+    case kSsFullChunk: return "ss_full_chunk";
+    case kSsFullEnd: return "ss_full_end";
+    case kSsIncremental: return "ss_incremental";
+    case kSsBloom: return "ss_bloom";
+    default: return "op_" + std::to_string(opcode);
+  }
+}
+
 void AttrValue::Encode(Writer* w) const {
   w->U8(static_cast<uint8_t>(type));
   switch (type) {
@@ -297,11 +340,13 @@ void FullUpdateBegin::Encode(std::string* out) const {
   w.Str(lrc_url);
   w.U64(update_id);
   w.U64(total_names);
+  w.I64(sent_micros);
 }
 
 Status FullUpdateBegin::Decode(std::string_view data, FullUpdateBegin* out) {
   Reader r(data);
-  if (!r.Str(&out->lrc_url) || !r.U64(&out->update_id) || !r.U64(&out->total_names)) {
+  if (!r.Str(&out->lrc_url) || !r.U64(&out->update_id) ||
+      !r.U64(&out->total_names) || !r.I64(&out->sent_micros)) {
     return TruncatedMessage("full update begin");
   }
   return Status::Ok();
@@ -341,11 +386,13 @@ void IncrementalUpdate::Encode(std::string* out) const {
   w.Str(lrc_url);
   w.StrVec(added);
   w.StrVec(removed);
+  w.I64(sent_micros);
 }
 
 Status IncrementalUpdate::Decode(std::string_view data, IncrementalUpdate* out) {
   Reader r(data);
-  if (!r.Str(&out->lrc_url) || !r.StrVec(&out->added) || !r.StrVec(&out->removed)) {
+  if (!r.Str(&out->lrc_url) || !r.StrVec(&out->added) ||
+      !r.StrVec(&out->removed) || !r.I64(&out->sent_micros)) {
     return TruncatedMessage("incremental update");
   }
   return Status::Ok();
@@ -355,11 +402,13 @@ void BloomUpdate::Encode(std::string* out) const {
   Writer w(out);
   w.Str(lrc_url);
   w.Str(filter_bytes);
+  w.I64(sent_micros);
 }
 
 Status BloomUpdate::Decode(std::string_view data, BloomUpdate* out) {
   Reader r(data);
-  if (!r.Str(&out->lrc_url) || !r.Str(&out->filter_bytes)) {
+  if (!r.Str(&out->lrc_url) || !r.Str(&out->filter_bytes) ||
+      !r.I64(&out->sent_micros)) {
     return TruncatedMessage("bloom update");
   }
   return Status::Ok();
@@ -416,6 +465,87 @@ Status DecodeStats(std::string_view data, ServerStats* out) {
       !r.U64(&out->requests_served) || !r.U64(&out->updates_received) ||
       !r.U64(&out->updates_sent) || !r.U64(&out->bloom_filters)) {
     return TruncatedMessage("server stats");
+  }
+  return Status::Ok();
+}
+
+void TargetStatus::Encode(Writer* w) const {
+  w->Str(address);
+  w->U64(updates_sent);
+  w->F64(seconds_since_last);
+}
+
+bool TargetStatus::Decode(Reader* r, TargetStatus* out) {
+  return r->Str(&out->address) && r->U64(&out->updates_sent) &&
+         r->F64(&out->seconds_since_last);
+}
+
+void GetStatsResponse::Encode(std::string* out) const {
+  Writer w(out);
+  w.Str(role);
+  w.F64(uptime_seconds);
+  w.U64(vitals.lfn_count);
+  w.U64(vitals.mapping_count);
+  w.U64(vitals.requests_served);
+  w.U64(vitals.updates_received);
+  w.U64(vitals.updates_sent);
+  w.U64(vitals.bloom_filters);
+  w.U64(last_update_trace_id);
+  w.U32(static_cast<uint32_t>(targets.size()));
+  for (const TargetStatus& t : targets) t.Encode(&w);
+  w.U32(static_cast<uint32_t>(metrics.size()));
+  for (const MetricSample& m : metrics) {
+    w.Str(m.name);
+    w.Str(m.labels);
+    w.U8(m.kind);
+    w.F64(m.value);
+    w.U64(m.count);
+    w.F64(m.mean_us);
+    w.U64(m.p50_us);
+    w.U64(m.p95_us);
+    w.U64(m.p99_us);
+    w.U64(m.max_us);
+  }
+}
+
+Status GetStatsResponse::Decode(std::string_view data, GetStatsResponse* out) {
+  Reader r(data);
+  if (!r.Str(&out->role) || !r.F64(&out->uptime_seconds) ||
+      !r.U64(&out->vitals.lfn_count) || !r.U64(&out->vitals.mapping_count) ||
+      !r.U64(&out->vitals.requests_served) ||
+      !r.U64(&out->vitals.updates_received) ||
+      !r.U64(&out->vitals.updates_sent) || !r.U64(&out->vitals.bloom_filters) ||
+      !r.U64(&out->last_update_trace_id)) {
+    return TruncatedMessage("get stats header");
+  }
+  uint32_t target_count = 0;
+  if (!r.U32(&target_count)) return TruncatedMessage("target count");
+  if (static_cast<uint64_t>(target_count) * 20 > r.remaining()) {
+    return TruncatedMessage("target list");
+  }
+  out->targets.clear();
+  out->targets.reserve(target_count);
+  for (uint32_t i = 0; i < target_count; ++i) {
+    TargetStatus t;
+    if (!TargetStatus::Decode(&r, &t)) return TruncatedMessage("target status");
+    out->targets.push_back(std::move(t));
+  }
+  uint32_t metric_count = 0;
+  if (!r.U32(&metric_count)) return TruncatedMessage("metric count");
+  if (static_cast<uint64_t>(metric_count) * 65 > r.remaining()) {
+    return TruncatedMessage("metric list");
+  }
+  out->metrics.clear();
+  out->metrics.reserve(metric_count);
+  for (uint32_t i = 0; i < metric_count; ++i) {
+    MetricSample m;
+    if (!r.Str(&m.name) || !r.Str(&m.labels) || !r.U8(&m.kind) ||
+        !r.F64(&m.value) || !r.U64(&m.count) || !r.F64(&m.mean_us) ||
+        !r.U64(&m.p50_us) || !r.U64(&m.p95_us) || !r.U64(&m.p99_us) ||
+        !r.U64(&m.max_us)) {
+      return TruncatedMessage("metric sample");
+    }
+    out->metrics.push_back(std::move(m));
   }
   return Status::Ok();
 }

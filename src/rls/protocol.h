@@ -19,7 +19,8 @@ namespace rls {
 enum Op : uint16_t {
   kPing = 1,
   kServerStats = 2,
-  kServerMetrics = 3,  // per-operation-family latency histograms
+  kServerMetrics = 3,   // per-operation-family latency histograms
+  kServerGetStats = 4,  // full introspection snapshot (requires kStats)
 
   // --- LRC mapping management (Table 1) ---
   kLrcCreate = 10,      // create lfn and its first mapping
@@ -66,6 +67,10 @@ enum Op : uint16_t {
   kSsIncremental = 63,
   kSsBloom = 64,
 };
+
+/// Human-readable opcode name ("lrc_add", "rli_query_lfn"...); used as
+/// the `method` metric label. Unknown opcodes render as "op_<n>".
+std::string OpName(uint16_t opcode);
 
 // ---------------------------------------------------------------------
 // Request/response structs. Encode appends to a payload string; Decode
@@ -172,11 +177,14 @@ struct AttrListResponse {
   static rlscommon::Status Decode(std::string_view data, AttrListResponse* out);
 };
 
-/// Soft-state full update framing.
+/// Soft-state full update framing. `sent_micros` is the sender's
+/// monotonic send timestamp, letting the receiver histogram the
+/// summarize->receive lag of each update mode.
 struct FullUpdateBegin {
   std::string lrc_url;
   uint64_t update_id = 0;
   uint64_t total_names = 0;
+  int64_t sent_micros = 0;
 
   void Encode(std::string* out) const;
   static rlscommon::Status Decode(std::string_view data, FullUpdateBegin* out);
@@ -204,6 +212,7 @@ struct IncrementalUpdate {
   std::string lrc_url;
   std::vector<std::string> added;
   std::vector<std::string> removed;
+  int64_t sent_micros = 0;
 
   void Encode(std::string* out) const;
   static rlscommon::Status Decode(std::string_view data, IncrementalUpdate* out);
@@ -213,6 +222,7 @@ struct IncrementalUpdate {
 struct BloomUpdate {
   std::string lrc_url;
   std::string filter_bytes;  // bloom::BloomFilter::Serialize output
+  int64_t sent_micros = 0;
 
   void Encode(std::string* out) const;
   static rlscommon::Status Decode(std::string_view data, BloomUpdate* out);
@@ -238,6 +248,50 @@ struct MetricsResponse {
 
   void Encode(std::string* out) const;
   static rlscommon::Status Decode(std::string_view data, MetricsResponse* out);
+};
+
+// ---------------------------------------------------------------------
+// Introspection (kServerGetStats). Wire form of one obs::Registry sample
+// plus server vitals; requires the kStats privilege.
+// ---------------------------------------------------------------------
+
+/// One registry instrument. `kind` mirrors obs::MetricKind (0=counter,
+/// 1=gauge, 2=histogram); histogram kinds carry the summary fields.
+struct MetricSample {
+  std::string name;
+  std::string labels;  // rendered label list, e.g. method="lrc_add"
+  uint8_t kind = 0;
+  double value = 0;
+  uint64_t count = 0;
+  double mean_us = 0;
+  uint64_t p50_us = 0;
+  uint64_t p95_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t max_us = 0;
+};
+
+/// Per-RLI-target soft-state freshness (LRC/combined servers only).
+struct TargetStatus {
+  std::string address;
+  uint64_t updates_sent = 0;
+  double seconds_since_last = -1;  // <0 = never updated
+
+  void Encode(net::Writer* w) const;
+  static bool Decode(net::Reader* r, TargetStatus* out);
+};
+
+/// Full introspection snapshot: vitals + per-target freshness + every
+/// registry instrument.
+struct GetStatsResponse {
+  std::string role;  // "lrc", "rli", "lrc+rli"
+  double uptime_seconds = 0;
+  ServerStats vitals;
+  uint64_t last_update_trace_id = 0;  // trace of last soft-state update received
+  std::vector<TargetStatus> targets;
+  std::vector<MetricSample> metrics;
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, GetStatsResponse* out);
 };
 
 }  // namespace rls

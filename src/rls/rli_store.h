@@ -62,6 +62,8 @@ class RliRelationalStore {
   uint64_t AssociationCount() const;
   uint64_t LogicalNameCount() const;
 
+  dbapi::ConnectionPool& pool() const { return pool_; }
+
  private:
   RliRelationalStore(dbapi::Environment& env, const std::string& dsn)
       : pool_(env, dsn) {}

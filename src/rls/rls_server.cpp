@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace rls {
 
@@ -37,6 +38,17 @@ RlsServer::RlsServer(net::Network* network, RlsServerConfig config,
                      dbapi::Environment* env, rlscommon::Clock* clock)
     : network_(network), config_(std::move(config)), env_(env), clock_(clock) {
   if (config_.url.empty()) config_.url = config_.address;
+  lrc_read_latency_ = registry_.GetHistogram("rls_family_latency_us",
+                                             obs::Label("family", "lrc_read"));
+  lrc_write_latency_ = registry_.GetHistogram("rls_family_latency_us",
+                                              obs::Label("family", "lrc_write"));
+  rli_query_latency_ = registry_.GetHistogram("rls_family_latency_us",
+                                              obs::Label("family", "rli_query"));
+  soft_state_latency_ = registry_.GetHistogram(
+      "rls_family_latency_us", obs::Label("family", "soft_state"));
+  rli_updates_received_ = registry_.GetCounter("rli_updates_received_total");
+  rli_expired_entries_ = registry_.GetCounter("rli_expired_entries_total");
+  ss_receive_lag_ = registry_.GetHistogram("ss_receive_lag_us");
 }
 
 RlsServer::~RlsServer() { Stop(); }
@@ -45,8 +57,10 @@ Status RlsServer::Start() {
   if (config_.lrc.enabled) {
     Status s = LrcStore::Create(*env_, config_.lrc.dsn, &lrc_store_);
     if (!s.ok()) return s;
+    lrc_store_->pool().BindMetrics(&registry_, "lrc");
     update_manager_ = std::make_unique<UpdateManager>(
         network_, lrc_store_.get(), config_.url, config_.lrc.update, clock_);
+    update_manager_->BindMetrics(&registry_);
     lrc_store_->SetChangeObserver([this](const std::string& lfn, bool added) {
       update_manager_->OnMappingChange(lfn, added);
     });
@@ -55,6 +69,7 @@ Status RlsServer::Start() {
     if (!config_.rli.dsn.empty()) {
       Status s = RliRelationalStore::Create(*env_, config_.rli.dsn, &rli_relational_);
       if (!s.ok()) return s;
+      rli_relational_->pool().BindMetrics(&registry_, "rli");
     }
     if (config_.rli.accept_bloom) {
       rli_bloom_ = std::make_unique<RliBloomStore>(clock_);
@@ -67,9 +82,27 @@ Status RlsServer::Start() {
     return Status::InvalidArgument("server must enable at least one role");
   }
 
+  // Monitoring-side worker pool: runs JSONL export writes so the pool's
+  // queue/latency instruments see real traffic.
+  worker_pool_ = std::make_unique<rlscommon::ThreadPool>(1, "obs-worker");
+  rlscommon::ThreadPool::MetricHooks hooks;
+  hooks.queue_wait = registry_.GetHistogram("threadpool_queue_wait_us")->raw();
+  hooks.run_time = registry_.GetHistogram("threadpool_task_run_us")->raw();
+  hooks.tasks_completed =
+      registry_.GetCounter("threadpool_tasks_completed_total")->raw();
+  worker_pool_->BindMetrics(hooks);
+
+  start_time_ = clock_->Now();
+  RegisterGauges();
+  if (config_.obs.slow_span_threshold.count() > 0) {
+    obs::SetSlowSpanThreshold(config_.obs.slow_span_threshold);
+  }
+
   net::ServerOptions options;
   options.name = config_.url;
   options.auth = config_.auth;
+  options.metrics = &registry_;
+  options.opcode_name = OpName;
   rpc_server_ = std::make_unique<net::RpcServer>(
       network_, config_.address, options,
       [this](const gsi::AuthContext& auth, uint16_t opcode,
@@ -87,6 +120,15 @@ Status RlsServer::Start() {
   if (config_.rli.enabled && config_.rli.timeout.count() > 0) {
     expire_thread_ = std::thread([this] { ExpireLoop(); });
   }
+  if (!config_.obs.export_path.empty()) {
+    obs::JsonlExporter::Options eopts;
+    eopts.path = config_.obs.export_path;
+    eopts.period = config_.obs.export_period;
+    exporter_ = std::make_unique<obs::JsonlExporter>(
+        eopts, [this] { return RenderStatsJson(); }, worker_pool_.get());
+    s = exporter_->Start();
+    if (!s.ok()) return s;
+  }
   return Status::Ok();
 }
 
@@ -98,8 +140,96 @@ void RlsServer::Stop() {
   }
   expire_cv_.notify_all();
   if (expire_thread_.joinable()) expire_thread_.join();
+  if (exporter_) exporter_->Stop();
   if (update_manager_) update_manager_->Stop();
   if (rpc_server_) rpc_server_->Stop();
+  // The gauges capture raw store pointers; drop them before the stores go.
+  UnregisterGauges();
+}
+
+std::string RlsServer::role() const {
+  if (config_.lrc.enabled && config_.rli.enabled) return "lrc+rli";
+  return config_.lrc.enabled ? "lrc" : "rli";
+}
+
+void RlsServer::RegisterGauges() {
+  registry_.RegisterCallback("server_uptime_seconds", "", [this] {
+    return std::chrono::duration<double>(clock_->Now() - start_time_).count();
+  });
+  registry_.RegisterCallback("threadpool_queue_depth", "", [this] {
+    return static_cast<double>(worker_pool_->QueueDepth());
+  });
+  if (lrc_store_) {
+    registry_.RegisterCallback("lrc_logical_names", "", [this] {
+      return static_cast<double>(lrc_store_->LogicalNameCount());
+    });
+    registry_.RegisterCallback("lrc_mappings", "", [this] {
+      return static_cast<double>(lrc_store_->MappingCount());
+    });
+  }
+  if (rli_relational_) {
+    registry_.RegisterCallback("rli_associations", "", [this] {
+      return static_cast<double>(rli_relational_->AssociationCount());
+    });
+  }
+  if (rli_bloom_) {
+    registry_.RegisterCallback("rli_bloom_filters", "", [this] {
+      return static_cast<double>(rli_bloom_->filter_count());
+    });
+  }
+}
+
+void RlsServer::UnregisterGauges() {
+  registry_.UnregisterCallback("server_uptime_seconds", "");
+  registry_.UnregisterCallback("threadpool_queue_depth", "");
+  registry_.UnregisterCallback("lrc_logical_names", "");
+  registry_.UnregisterCallback("lrc_mappings", "");
+  registry_.UnregisterCallback("rli_associations", "");
+  registry_.UnregisterCallback("rli_bloom_filters", "");
+}
+
+std::string RlsServer::RenderStatsJson() const {
+  const double uptime =
+      std::chrono::duration<double>(clock_->Now() - start_time_).count();
+  std::string extra = "\"server\": \"" + config_.url + "\", \"role\": \"" +
+                      role() + "\", \"uptime_seconds\": " +
+                      std::to_string(uptime);
+  return registry_.RenderJson(extra);
+}
+
+GetStatsResponse RlsServer::GetStatsSnapshot() const {
+  GetStatsResponse resp;
+  resp.role = role();
+  resp.uptime_seconds =
+      std::chrono::duration<double>(clock_->Now() - start_time_).count();
+  resp.vitals = Stats();
+  resp.last_update_trace_id =
+      last_update_trace_id_.load(std::memory_order_relaxed);
+  if (update_manager_) {
+    for (const TargetFreshness& f : update_manager_->TargetStatuses()) {
+      resp.targets.push_back(
+          TargetStatus{f.address, f.updates_sent, f.seconds_since_last});
+    }
+  }
+  obs::Snapshot snapshot = registry_.TakeSnapshot();
+  resp.metrics.reserve(snapshot.samples.size());
+  for (const obs::Sample& sample : snapshot.samples) {
+    MetricSample m;
+    m.name = sample.name;
+    m.labels = sample.labels;
+    m.kind = static_cast<uint8_t>(sample.kind);
+    m.value = sample.value;
+    if (sample.kind == obs::MetricKind::kHistogram) {
+      m.count = sample.hist.count;
+      m.mean_us = sample.hist.mean_us;
+      m.p50_us = sample.hist.p50_us;
+      m.p95_us = sample.hist.p95_us;
+      m.p99_us = sample.hist.p99_us;
+      m.max_us = sample.hist.max_us;
+    }
+    resp.metrics.push_back(std::move(m));
+  }
+  return resp;
 }
 
 ServerStats RlsServer::Stats() const {
@@ -112,7 +242,7 @@ ServerStats RlsServer::Stats() const {
     stats.mapping_count = rli_relational_->AssociationCount();
   }
   if (rpc_server_) stats.requests_served = rpc_server_->requests_served();
-  stats.updates_received = updates_received_.load(std::memory_order_relaxed);
+  stats.updates_received = rli_updates_received_->Value();
   if (update_manager_) {
     UpdateStats us = update_manager_->stats();
     stats.updates_sent = us.full_updates_sent + us.incremental_updates_sent +
@@ -134,12 +264,11 @@ void RlsServer::ExpireNow() {
         std::chrono::duration_cast<std::chrono::microseconds>(timeout).count();
     uint64_t removed = 0;
     if (rli_relational_->ExpireOlderThan(cutoff, &removed).ok()) {
-      expired_entries_.fetch_add(removed, std::memory_order_relaxed);
+      rli_expired_entries_->Increment(removed);
     }
   }
   if (rli_bloom_) {
-    expired_entries_.fetch_add(rli_bloom_->ExpireOlderThan(timeout),
-                               std::memory_order_relaxed);
+    rli_expired_entries_->Increment(rli_bloom_->ExpireOlderThan(timeout));
   }
 }
 
@@ -156,8 +285,8 @@ void RlsServer::ExpireLoop() {
 
 MetricsResponse RlsServer::Metrics() const {
   MetricsResponse metrics;
-  auto add = [&](const char* family, const rlscommon::LatencyHistogram& hist) {
-    auto snap = hist.GetSnapshot();
+  auto add = [&](const char* family, const obs::Histogram* hist) {
+    auto snap = hist->GetSnapshot();
     FamilyMetrics f;
     f.family = family;
     f.count = snap.count;
@@ -228,10 +357,10 @@ Status RlsServer::Handle(const gsi::AuthContext& auth, uint16_t opcode,
   rlscommon::Stopwatch watch(clock_);
   Status status = Dispatch(auth, opcode, request, response);
   switch (FamilyFor(opcode)) {
-    case OpFamily::kLrcRead: lrc_read_latency_.Record(watch.Elapsed()); break;
-    case OpFamily::kLrcWrite: lrc_write_latency_.Record(watch.Elapsed()); break;
-    case OpFamily::kRliQuery: rli_query_latency_.Record(watch.Elapsed()); break;
-    case OpFamily::kSoftState: soft_state_latency_.Record(watch.Elapsed()); break;
+    case OpFamily::kLrcRead: lrc_read_latency_->Record(watch.Elapsed()); break;
+    case OpFamily::kLrcWrite: lrc_write_latency_->Record(watch.Elapsed()); break;
+    case OpFamily::kRliQuery: rli_query_latency_->Record(watch.Elapsed()); break;
+    case OpFamily::kSoftState: soft_state_latency_->Record(watch.Elapsed()); break;
     case OpFamily::kNone: break;
   }
   return status;
@@ -253,6 +382,12 @@ Status RlsServer::Dispatch(const gsi::AuthContext& auth, uint16_t opcode,
     Status s = config_.auth.Authorize(auth, gsi::Privilege::kStats);
     if (!s.ok()) return s;
     Metrics().Encode(response);
+    return Status::Ok();
+  }
+  if (opcode == kServerGetStats) {
+    Status s = config_.auth.Authorize(auth, gsi::Privilege::kStats);
+    if (!s.ok()) return s;
+    GetStatsSnapshot().Encode(response);
     return Status::Ok();
   }
   if (opcode >= kLrcCreate && opcode <= kLrcForceUpdate) {
@@ -592,6 +727,19 @@ Status RlsServer::HandleSoftState(const gsi::AuthContext& auth, uint16_t opcode,
                                  clock_->Now().time_since_epoch())
                                  .count();
 
+  // Summarize->receive lag of this hop, and the trace that produced it
+  // (the sender re-stamps the originating client's trace id).
+  auto note_update = [&](int64_t sent_micros, bool count) {
+    if (count) rli_updates_received_->Increment();
+    if (sent_micros > 0 && now_micros >= sent_micros) {
+      ss_receive_lag_->RecordMicros(static_cast<uint64_t>(now_micros - sent_micros));
+    }
+    const rlscommon::TraceContext trace = rlscommon::CurrentTrace();
+    if (trace.valid()) {
+      last_update_trace_id_.store(trace.trace_id, std::memory_order_relaxed);
+    }
+  };
+
   switch (opcode) {
     case kSsFullBegin: {
       FullUpdateBegin req;
@@ -600,6 +748,7 @@ Status RlsServer::HandleSoftState(const gsi::AuthContext& auth, uint16_t opcode,
       if (!rli_relational_) {
         return Status::Unsupported("RLI accepts only Bloom updates (no database)");
       }
+      note_update(req.sent_micros, /*count=*/false);
       ForwardToParents(opcode, request);
       return Status::Ok();
     }
@@ -619,7 +768,7 @@ Status RlsServer::HandleSoftState(const gsi::AuthContext& auth, uint16_t opcode,
       FullUpdateEnd req;
       s = FullUpdateEnd::Decode(request, &req);
       if (!s.ok()) return s;
-      updates_received_.fetch_add(1, std::memory_order_relaxed);
+      note_update(0, /*count=*/true);
       ForwardToParents(opcode, request);
       return Status::Ok();
     }
@@ -636,7 +785,7 @@ Status RlsServer::HandleSoftState(const gsi::AuthContext& auth, uint16_t opcode,
         s = rli_relational_->Remove(lfn, req.lrc_url);
         if (!s.ok()) return s;
       }
-      updates_received_.fetch_add(1, std::memory_order_relaxed);
+      note_update(req.sent_micros, /*count=*/true);
       ForwardToParents(opcode, request);
       return Status::Ok();
     }
@@ -651,7 +800,7 @@ Status RlsServer::HandleSoftState(const gsi::AuthContext& auth, uint16_t opcode,
       s = bloom::BloomFilter::Deserialize(req.filter_bytes, &filter);
       if (!s.ok()) return s;
       rli_bloom_->StoreFilter(req.lrc_url, std::move(filter));
-      updates_received_.fetch_add(1, std::memory_order_relaxed);
+      note_update(req.sent_micros, /*count=*/true);
       ForwardToParents(opcode, request);
       return Status::Ok();
     }

@@ -22,9 +22,12 @@
 #include "common/clock.h"
 #include "common/error.h"
 #include "common/histogram.h"
+#include "common/thread_pool.h"
 #include "dbapi/dbapi.h"
 #include "gsi/gsi.h"
 #include "net/rpc.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
 #include "rls/lrc_store.h"
 #include "rls/protocol.h"
 #include "rls/rli_store.h"
@@ -53,11 +56,21 @@ struct LrcRoleConfig {
   UpdateConfig update;
 };
 
+struct ObsConfig {
+  /// JSONL metrics export target; empty = exporter disabled.
+  std::string export_path;
+  std::chrono::milliseconds export_period{1000};
+  /// Spans slower than this log at WARN with hop timing (0 = disabled).
+  /// Process-wide setting, applied at Start().
+  std::chrono::microseconds slow_span_threshold{0};
+};
+
 struct RlsServerConfig {
   std::string address;        // net::Network listen address
   std::string url;            // identity in soft-state updates; default address
   LrcRoleConfig lrc;
   RliRoleConfig rli;
+  ObsConfig obs;
   gsi::AuthManager auth = gsi::AuthManager::Open();
 };
 
@@ -90,6 +103,15 @@ class RlsServer {
   /// Per-operation-family latency histograms (monitoring).
   MetricsResponse Metrics() const;
 
+  /// Full introspection snapshot (what kServerGetStats serves).
+  GetStatsResponse GetStatsSnapshot() const;
+
+  /// The server's metrics registry (tests, exporters).
+  obs::Registry* metrics_registry() { return &registry_; }
+
+  /// Role string for introspection ("lrc", "rli", "lrc+rli").
+  std::string role() const;
+
   /// Runs one expiration round immediately (tests drive this instead of
   /// waiting for the expire thread).
   void ExpireNow();
@@ -109,6 +131,13 @@ class RlsServer {
 
   void ForwardToParents(uint16_t opcode, const std::string& request);
   void ExpireLoop();
+  std::string RenderStatsJson() const;
+  void RegisterGauges();
+  void UnregisterGauges();
+
+  // Declared first so it outlives every component holding instrument
+  // pointers into it (members destroy in reverse declaration order).
+  obs::Registry registry_;
 
   net::Network* network_;
   RlsServerConfig config_;
@@ -121,18 +150,29 @@ class RlsServer {
   std::unique_ptr<UpdateManager> update_manager_;
   std::unique_ptr<net::RpcServer> rpc_server_;
 
+  // Small worker pool for monitoring-side tasks (JSONL export); its
+  // instruments are bound into the registry.
+  std::unique_ptr<rlscommon::ThreadPool> worker_pool_;
+  std::unique_ptr<obs::JsonlExporter> exporter_;
+
   // Parent forwarding clients (hierarchical RLI).
   std::mutex parents_mu_;
   std::vector<std::pair<UpdateTarget, std::unique_ptr<net::RpcClient>>> parents_;
 
-  std::atomic<uint64_t> updates_received_{0};
-  std::atomic<uint64_t> expired_entries_{0};
+  // Registry instruments (owned by registry_).
+  obs::Counter* rli_updates_received_ = nullptr;
+  obs::Counter* rli_expired_entries_ = nullptr;
+  obs::Histogram* ss_receive_lag_ = nullptr;
 
-  // Service-time histograms per operation family.
-  rlscommon::LatencyHistogram lrc_read_latency_;
-  rlscommon::LatencyHistogram lrc_write_latency_;
-  rlscommon::LatencyHistogram rli_query_latency_;
-  rlscommon::LatencyHistogram soft_state_latency_;
+  // Trace id of the last soft-state update this server received.
+  std::atomic<uint64_t> last_update_trace_id_{0};
+  rlscommon::TimePoint start_time_{};
+
+  // Service-time histograms per operation family (registry-owned).
+  obs::Histogram* lrc_read_latency_ = nullptr;
+  obs::Histogram* lrc_write_latency_ = nullptr;
+  obs::Histogram* rli_query_latency_ = nullptr;
+  obs::Histogram* soft_state_latency_ = nullptr;
 
   std::mutex expire_mu_;
   std::condition_variable expire_cv_;

@@ -1,14 +1,24 @@
 #include "rls/update_manager.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "rls/protocol.h"
 
 namespace rls {
 
 using rlscommon::Status;
+
+namespace {
+int64_t MonoMicros(rlscommon::Clock* clock) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             clock->Now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 std::string_view UpdateModeName(UpdateMode mode) {
   switch (mode) {
@@ -53,6 +63,37 @@ void UpdateManager::Stop() {
   if (scheduler_.joinable()) scheduler_.join();
 }
 
+void UpdateManager::BindMetrics(obs::Registry* registry) {
+  metric_full_sent_ =
+      registry->GetCounter("ss_updates_sent_total", obs::Label("mode", "full"));
+  metric_incremental_sent_ = registry->GetCounter(
+      "ss_updates_sent_total", obs::Label("mode", "incremental"));
+  metric_bloom_sent_ =
+      registry->GetCounter("ss_updates_sent_total", obs::Label("mode", "bloom"));
+  metric_names_sent_ = registry->GetCounter("ss_names_sent_total");
+  metric_bytes_sent_ = registry->GetCounter("ss_bytes_sent_total");
+  metric_bloom_bits_set_ = registry->GetGauge("ss_bloom_bits_set");
+  metric_update_duration_ = registry->GetHistogram("ss_update_duration_us");
+}
+
+std::vector<TargetFreshness> UpdateManager::TargetStatuses() const {
+  const rlscommon::TimePoint now = clock_->Now();
+  std::vector<TargetFreshness> out;
+  std::lock_guard<std::mutex> lock(targets_mu_);
+  out.reserve(targets_.size());
+  for (const TargetState& state : targets_) {
+    TargetFreshness f;
+    f.address = state.target.address;
+    f.updates_sent = state.updates_sent;
+    if (state.ever_updated) {
+      f.seconds_since_last =
+          std::chrono::duration<double>(now - state.last_update).count();
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
 void UpdateManager::OnMappingChange(const std::string& lfn, bool added) {
   if (config_.mode == UpdateMode::kNone) return;
 
@@ -82,6 +123,10 @@ void UpdateManager::OnMappingChange(const std::string& lfn, bool added) {
     } else {
       ++pending_count_;
     }
+    // Remember the trace of the mutation that opened this batch so an
+    // async flush can re-stamp it on the outgoing update.
+    const rlscommon::TraceContext trace = rlscommon::CurrentTrace();
+    if (trace.valid() && !pending_trace_.valid()) pending_trace_ = trace;
     flush = config_.mode == UpdateMode::kImmediate &&
             pending_count_ >= config_.immediate_max_pending;
   }
@@ -141,9 +186,16 @@ Status UpdateManager::ForceFullUpdate() {
           s = SendFullUncompressed(&state, nullptr);
           break;
       }
-      if (!s.ok() && status.ok()) status = s;
+      if (s.ok()) {
+        ++state.updates_sent;
+        state.last_update = clock_->Now();
+        state.ever_updated = true;
+      } else if (status.ok()) {
+        status = s;
+      }
     }
   }
+  if (metric_update_duration_) metric_update_duration_->Record(watch.Elapsed());
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.last_update_seconds = watch.ElapsedSeconds();
@@ -163,6 +215,7 @@ Status UpdateManager::FlushImmediate() {
     return ForceFullUpdate();
   }
   std::vector<std::string> added, removed;
+  rlscommon::TraceContext batch_trace;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     for (const auto& [lfn, state] : pending_) {
@@ -174,8 +227,18 @@ Status UpdateManager::FlushImmediate() {
     }
     pending_.clear();
     pending_count_ = 0;
+    batch_trace = pending_trace_;
+    pending_trace_ = {};
   }
   if (added.empty() && removed.empty()) return Status::Ok();
+
+  // When flushed from the scheduler thread there is no ambient trace;
+  // restore the trace of the mutation that opened the batch so the
+  // update hop is attributable to the client operation.
+  std::optional<obs::ScopedTrace> scope;
+  if (!rlscommon::CurrentTrace().valid() && batch_trace.valid()) {
+    scope.emplace(batch_trace);
+  }
 
   Status status = Status::Ok();
   std::lock_guard<std::mutex> lock(targets_mu_);
@@ -194,7 +257,13 @@ Status UpdateManager::FlushImmediate() {
       if (target_added.empty() && target_removed.empty()) continue;
     }
     Status s = SendIncremental(&state, target_added, target_removed);
-    if (!s.ok() && status.ok()) status = s;
+    if (s.ok()) {
+      ++state.updates_sent;
+      state.last_update = clock_->Now();
+      state.ever_updated = true;
+    } else if (status.ok()) {
+      status = s;
+    }
   }
   return status;
 }
@@ -228,12 +297,15 @@ Status UpdateManager::SendFullUncompressed(TargetState* state,
 
   const uint64_t update_id = next_update_id_.fetch_add(1);
   const uint64_t total = store_->LogicalNameCount();
+  const uint64_t bytes_before = client->bytes_sent();
 
+  obs::Span span("update", "full_update");
   std::string payload, response;
-  FullUpdateBegin begin{lrc_url_, update_id, total};
+  FullUpdateBegin begin{lrc_url_, update_id, total, MonoMicros(clock_)};
   begin.Encode(&payload);
   s = client->Call(kSsFullBegin, payload, &response);
   if (!s.ok()) return s;
+  span.Hop("begin");
 
   uint64_t names_sent = 0;
   Status send_status = Status::Ok();
@@ -263,6 +335,7 @@ Status UpdateManager::SendFullUncompressed(TargetState* state,
       });
   if (!s.ok()) return s;
   if (!send_status.ok()) return send_status;
+  span.Hop("chunks");
 
   payload.clear();
   FullUpdateEnd end{lrc_url_, update_id};
@@ -270,6 +343,11 @@ Status UpdateManager::SendFullUncompressed(TargetState* state,
   s = client->Call(kSsFullEnd, payload, &response);
   if (!s.ok()) return s;
 
+  if (metric_full_sent_) metric_full_sent_->Increment();
+  if (metric_names_sent_) metric_names_sent_->Increment(names_sent);
+  if (metric_bytes_sent_) {
+    metric_bytes_sent_->Increment(client->bytes_sent() - bytes_before);
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.full_updates_sent;
   stats_.names_sent += names_sent;
@@ -290,22 +368,34 @@ Status UpdateManager::SendBloom(TargetState* state) {
     if (!s.ok()) return s;
   }
 
+  obs::Span span("update", "bloom_update");
   BloomUpdate update;
   update.lrc_url = lrc_url_;
+  update.sent_micros = MonoMicros(clock_);
   {
     std::lock_guard<std::mutex> lock(bloom_mu_);
     bloom::BloomFilter snapshot = counting_.ToBloomFilter();
     snapshot.Serialize(&update.filter_bytes);
+    if (metric_bloom_bits_set_) {
+      metric_bloom_bits_set_->Set(
+          static_cast<int64_t>(snapshot.CountSetBits()));
+    }
   }
 
   net::RpcClient* client = nullptr;
   Status s = ClientFor(state, &client);
   if (!s.ok()) return s;
+  span.Hop("serialize");
+  const uint64_t bytes_before = client->bytes_sent();
   std::string payload, response;
   update.Encode(&payload);
   s = client->Call(kSsBloom, payload, &response);
   if (!s.ok()) return s;
 
+  if (metric_bloom_sent_) metric_bloom_sent_->Increment();
+  if (metric_bytes_sent_) {
+    metric_bytes_sent_->Increment(client->bytes_sent() - bytes_before);
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.bloom_updates_sent;
   stats_.bytes_sent = client->bytes_sent();
@@ -318,14 +408,24 @@ Status UpdateManager::SendIncremental(TargetState* state,
   net::RpcClient* client = nullptr;
   Status s = ClientFor(state, &client);
   if (!s.ok()) return s;
+  obs::Span span("update", "incremental_update");
   IncrementalUpdate update;
   update.lrc_url = lrc_url_;
   update.added = added;
   update.removed = removed;
+  update.sent_micros = MonoMicros(clock_);
+  const uint64_t bytes_before = client->bytes_sent();
   std::string payload, response;
   update.Encode(&payload);
   s = client->Call(kSsIncremental, payload, &response);
   if (!s.ok()) return s;
+  if (metric_incremental_sent_) metric_incremental_sent_->Increment();
+  if (metric_names_sent_) {
+    metric_names_sent_->Increment(added.size() + removed.size());
+  }
+  if (metric_bytes_sent_) {
+    metric_bytes_sent_->Increment(client->bytes_sent() - bytes_before);
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.incremental_updates_sent;
   stats_.names_sent += added.size() + removed.size();

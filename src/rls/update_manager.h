@@ -28,7 +28,9 @@
 #include "bloom/bloom_filter.h"
 #include "common/clock.h"
 #include "common/error.h"
+#include "common/trace_context.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
 #include "rls/lrc_store.h"
 
 namespace rls {
@@ -78,6 +80,13 @@ struct UpdateStats {
   double last_bloom_generate_seconds = 0;
 };
 
+/// Per-target soft-state freshness (introspection / kServerGetStats).
+struct TargetFreshness {
+  std::string address;
+  uint64_t updates_sent = 0;
+  double seconds_since_last = -1;  // <0 = never updated
+};
+
 class UpdateManager {
  public:
   UpdateManager(net::Network* network, LrcStore* store, std::string lrc_url,
@@ -114,6 +123,15 @@ class UpdateManager {
 
   UpdateStats stats() const;
 
+  /// Registers this manager's instruments in `registry`:
+  /// ss_updates_sent_total{mode=...}, ss_names_sent_total,
+  /// ss_bytes_sent_total, ss_bloom_bits_set, ss_update_duration_us.
+  /// The registry must outlive the manager; call before Start().
+  void BindMetrics(obs::Registry* registry);
+
+  /// Per-target freshness snapshot for introspection.
+  std::vector<TargetFreshness> TargetStatuses() const;
+
   const std::string& lrc_url() const { return lrc_url_; }
   UpdateMode mode() const { return config_.mode; }
 
@@ -121,6 +139,9 @@ class UpdateManager {
   struct TargetState {
     UpdateTarget target;
     std::unique_ptr<net::RpcClient> client;
+    uint64_t updates_sent = 0;         // guarded by targets_mu_
+    rlscommon::TimePoint last_update;  // guarded by targets_mu_
+    bool ever_updated = false;         // guarded by targets_mu_
   };
 
   /// Lazily connects to a target.
@@ -141,13 +162,16 @@ class UpdateManager {
   UpdateConfig config_;
   rlscommon::Clock* clock_;
 
-  std::mutex targets_mu_;
+  mutable std::mutex targets_mu_;
   std::vector<TargetState> targets_;
 
   // Pending incremental changes; +1 = added, -1 = removed, 0 = cancelled.
   std::mutex pending_mu_;
   std::unordered_map<std::string, int> pending_;
   std::size_t pending_count_ = 0;
+  // Trace of the mutation that made the batch non-empty, restored when
+  // the async flusher ships it (so the flush carries a client's trace).
+  rlscommon::TraceContext pending_trace_;  // guarded by pending_mu_
 
   // Counting Bloom filter mirroring the store (bloom mode).
   std::mutex bloom_mu_;
@@ -157,6 +181,15 @@ class UpdateManager {
   mutable std::mutex stats_mu_;
   UpdateStats stats_;
   std::atomic<uint64_t> next_update_id_{1};
+
+  // Optional instruments (owned by the bound registry); null = unbound.
+  obs::Counter* metric_full_sent_ = nullptr;
+  obs::Counter* metric_incremental_sent_ = nullptr;
+  obs::Counter* metric_bloom_sent_ = nullptr;
+  obs::Counter* metric_names_sent_ = nullptr;
+  obs::Counter* metric_bytes_sent_ = nullptr;
+  obs::Gauge* metric_bloom_bits_set_ = nullptr;
+  obs::Histogram* metric_update_duration_ = nullptr;
 
   std::mutex scheduler_mu_;
   std::condition_variable scheduler_cv_;

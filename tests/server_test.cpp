@@ -4,6 +4,7 @@
 
 #include <atomic>
 
+#include "obs/trace.h"
 #include "rls/client.h"
 #include "rls/rls_server.h"
 
@@ -201,6 +202,41 @@ TEST(ServerRoleTest, CombinedLrcAndRliServer) {
   std::vector<std::string> updaters;
   ASSERT_TRUE(rli_client->LrcList(&updaters).ok());
   ASSERT_EQ(updaters.size(), 1u);
+}
+
+TEST(ServerRoleTest, TraceIdPropagatesFromClientToRli) {
+  // A trace installed at the client edge rides the RPC frame into the
+  // LRC handler, through the soft-state send, and is recorded by the
+  // receiving RLI as last_update_trace_id.
+  net::Network network;
+  dbapi::Environment env;
+  RlsServerConfig config;
+  config.address = "traced:1";
+  config.lrc.enabled = true;
+  config.lrc.dsn = "mysql://traced_lrc";
+  config.lrc.update.mode = UpdateMode::kFull;
+  config.lrc.update.targets.push_back(UpdateTarget{"traced:1"});  // self-update
+  config.rli.enabled = true;
+  config.rli.dsn = "mysql://traced_rli";
+  ASSERT_TRUE(env.CreateDatabase(config.lrc.dsn).ok());
+  ASSERT_TRUE(env.CreateDatabase(config.rli.dsn).ok());
+  RlsServer server(&network, config, &env);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::unique_ptr<LrcClient> client;
+  ASSERT_TRUE(LrcClient::Connect(&network, "traced:1", {}, &client).ok());
+
+  const uint64_t trace_id = obs::NewTraceId();
+  {
+    obs::ScopedTrace trace(obs::TraceContext{trace_id, obs::NewTraceId()});
+    ASSERT_TRUE(client->Create("traced_lfn", "p").ok());
+    ASSERT_TRUE(client->ForceUpdate().ok());
+  }
+
+  GetStatsResponse stats;
+  ASSERT_TRUE(client->GetStats(&stats).ok());
+  EXPECT_EQ(stats.last_update_trace_id, trace_id);
+  server.Stop();
 }
 
 TEST(ServerAclTest, PrivilegesEnforcedPerOperation) {
