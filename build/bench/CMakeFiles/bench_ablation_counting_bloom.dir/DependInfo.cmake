@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/rdb/CMakeFiles/rls_rdb.dir/DependInfo.cmake"
   "/root/repo/build/src/bloom/CMakeFiles/rls_bloom.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/rls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/rls_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/gsi/CMakeFiles/rls_gsi.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/rls_common.dir/DependInfo.cmake"
   )

@@ -283,10 +283,14 @@ bench/CMakeFiles/bench_ablation_update_modes.dir/bench_ablation_update_modes.cpp
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc \
  /root/repo/src/net/transport.h /usr/include/c++/12/condition_variable \
- /root/repo/src/common/clock.h /root/repo/src/rls/protocol.h \
+ /root/repo/src/common/clock.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/histogram.h /root/repo/src/rls/protocol.h \
  /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/rls/types.h \
- /root/repo/src/rls/rls_server.h /root/repo/src/common/histogram.h \
- /root/repo/src/rls/lrc_store.h /root/repo/src/dbapi/pool.h \
- /root/repo/src/rls/rli_store.h /root/repo/src/bloom/bloom_filter.h \
- /root/repo/src/bloom/hashing.h /root/repo/src/rls/update_manager.h
+ /root/repo/src/rls/rls_server.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /root/repo/src/obs/exporter.h /root/repo/src/rls/lrc_store.h \
+ /root/repo/src/dbapi/pool.h /root/repo/src/rls/rli_store.h \
+ /root/repo/src/bloom/bloom_filter.h /root/repo/src/bloom/hashing.h \
+ /root/repo/src/rls/update_manager.h \
+ /root/repo/src/common/trace_context.h

@@ -221,32 +221,33 @@ examples/CMakeFiles/rls_admin.dir/rls_admin.cpp.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/mutex \
  /root/repo/src/common/histogram.h /usr/include/c++/12/array \
- /root/repo/src/dbapi/dbapi.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/common/thread_pool.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/rdb/database.h \
- /root/repo/src/rdb/profile.h /root/repo/src/rdb/index.h \
- /root/repo/src/rdb/heap.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/rdb/value.h \
- /usr/include/c++/12/variant /root/repo/src/rdb/table.h \
- /usr/include/c++/12/shared_mutex /root/repo/src/rdb/schema.h \
- /root/repo/src/rdb/wal.h /root/repo/src/sql/engine.h \
- /root/repo/src/sql/ast.h /root/repo/src/sql/result_set.h \
- /root/repo/src/sql/session.h /root/repo/src/gsi/gsi.h \
- /usr/include/c++/12/regex /usr/include/c++/12/bitset \
- /usr/include/c++/12/locale \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/dbapi/dbapi.h \
+ /root/repo/src/rdb/database.h /root/repo/src/rdb/profile.h \
+ /root/repo/src/rdb/index.h /root/repo/src/rdb/heap.h \
+ /root/repo/src/rdb/value.h /usr/include/c++/12/variant \
+ /root/repo/src/rdb/table.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/rdb/schema.h /root/repo/src/rdb/wal.h \
+ /root/repo/src/sql/engine.h /root/repo/src/sql/ast.h \
+ /root/repo/src/sql/result_set.h /root/repo/src/sql/session.h \
+ /root/repo/src/gsi/gsi.h /usr/include/c++/12/regex \
+ /usr/include/c++/12/bitset /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
  /usr/include/c++/12/bits/locale_facets_nonio.tcc \
  /usr/include/c++/12/bits/locale_conv.h /usr/include/c++/12/stack \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_stack.h \
+ /usr/include/c++/12/bits/stl_stack.h \
  /usr/include/c++/12/bits/regex_constants.h \
  /usr/include/c++/12/bits/regex_error.h \
  /usr/include/c++/12/bits/regex_automaton.h \
@@ -258,10 +259,11 @@ examples/CMakeFiles/rls_admin.dir/rls_admin.cpp.o: \
  /usr/include/c++/12/bits/regex.h /usr/include/c++/12/bits/regex.tcc \
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc /root/repo/src/net/rpc.h \
- /root/repo/src/net/transport.h /root/repo/src/rls/lrc_store.h \
+ /root/repo/src/net/transport.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/exporter.h /root/repo/src/rls/lrc_store.h \
  /root/repo/src/dbapi/pool.h /root/repo/src/rls/protocol.h \
  /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/rls/types.h \
  /root/repo/src/rls/rli_store.h /root/repo/src/bloom/bloom_filter.h \
  /root/repo/src/bloom/hashing.h /root/repo/src/rls/update_manager.h \
- /root/repo/src/rls/client.h
+ /root/repo/src/common/trace_context.h /root/repo/src/rls/client.h

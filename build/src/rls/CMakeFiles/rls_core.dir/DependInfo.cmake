@@ -21,6 +21,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/rls_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/rls_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/bloom/CMakeFiles/rls_bloom.dir/DependInfo.cmake"
   "/root/repo/build/src/rdb/CMakeFiles/rls_rdb.dir/DependInfo.cmake"
   "/root/repo/build/src/sql/CMakeFiles/rls_sql.dir/DependInfo.cmake"

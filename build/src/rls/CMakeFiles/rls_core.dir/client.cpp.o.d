@@ -199,15 +199,15 @@ src/rls/CMakeFiles/rls_core.dir/client.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/error.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/net/rpc.h /usr/include/c++/12/atomic \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/net/rpc.h /usr/include/c++/12/array \
+ /usr/include/c++/12/atomic /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
@@ -248,6 +248,7 @@ src/rls/CMakeFiles/rls_core.dir/client.cpp.o: \
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc \
  /root/repo/src/net/transport.h /usr/include/c++/12/condition_variable \
- /root/repo/src/common/clock.h /root/repo/src/rls/protocol.h \
+ /root/repo/src/common/clock.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/histogram.h /root/repo/src/rls/protocol.h \
  /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/rls/types.h

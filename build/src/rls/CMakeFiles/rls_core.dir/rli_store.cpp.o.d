@@ -237,7 +237,8 @@ src/rls/CMakeFiles/rls_core.dir/rli_store.cpp.o: \
  /usr/include/c++/12/optional /root/repo/src/rdb/schema.h \
  /root/repo/src/rdb/wal.h /root/repo/src/sql/engine.h \
  /root/repo/src/sql/ast.h /root/repo/src/sql/result_set.h \
- /root/repo/src/sql/session.h /root/repo/src/rls/types.h \
+ /root/repo/src/sql/session.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/histogram.h /root/repo/src/rls/types.h \
  /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \

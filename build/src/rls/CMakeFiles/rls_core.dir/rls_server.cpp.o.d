@@ -212,23 +212,25 @@ src/rls/CMakeFiles/rls_core.dir/rls_server.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/mutex \
  /root/repo/src/common/error.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/histogram.h \
- /usr/include/c++/12/array /root/repo/src/dbapi/dbapi.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/array /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/rdb/database.h \
- /root/repo/src/rdb/profile.h /root/repo/src/rdb/index.h \
- /root/repo/src/rdb/heap.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/rdb/value.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/dbapi/dbapi.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/rdb/database.h \
+ /root/repo/src/rdb/profile.h /root/repo/src/rdb/index.h \
+ /root/repo/src/rdb/heap.h /root/repo/src/rdb/value.h \
  /usr/include/c++/12/variant /root/repo/src/rdb/table.h \
  /usr/include/c++/12/optional /usr/include/c++/12/shared_mutex \
  /root/repo/src/rdb/schema.h /root/repo/src/rdb/wal.h \
@@ -242,8 +244,7 @@ src/rls/CMakeFiles/rls_core.dir/rls_server.cpp.o: \
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
  /usr/include/c++/12/bits/locale_facets_nonio.tcc \
  /usr/include/c++/12/bits/locale_conv.h /usr/include/c++/12/stack \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_stack.h \
+ /usr/include/c++/12/bits/stl_stack.h \
  /usr/include/c++/12/bits/regex_constants.h \
  /usr/include/c++/12/bits/regex_error.h \
  /usr/include/c++/12/bits/regex_automaton.h \
@@ -255,13 +256,15 @@ src/rls/CMakeFiles/rls_core.dir/rls_server.cpp.o: \
  /usr/include/c++/12/bits/regex.h /usr/include/c++/12/bits/regex.tcc \
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc /root/repo/src/net/rpc.h \
- /root/repo/src/net/transport.h /root/repo/src/rls/lrc_store.h \
+ /root/repo/src/net/transport.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/exporter.h /root/repo/src/rls/lrc_store.h \
  /root/repo/src/dbapi/pool.h /root/repo/src/rls/protocol.h \
  /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/rls/types.h \
  /root/repo/src/rls/rli_store.h /root/repo/src/bloom/bloom_filter.h \
  /root/repo/src/bloom/hashing.h /root/repo/src/rls/update_manager.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/common/trace_context.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/logging.h
+ /root/repo/src/common/logging.h /root/repo/src/obs/trace.h

@@ -222,9 +222,10 @@ src/rls/CMakeFiles/rls_core.dir/update_manager.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/bloom/bloom_filter.h \
  /root/repo/src/bloom/hashing.h /root/repo/src/common/error.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/common/clock.h /root/repo/src/net/rpc.h \
+ /root/repo/src/common/clock.h /root/repo/src/common/trace_context.h \
+ /root/repo/src/net/rpc.h /usr/include/c++/12/array \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
@@ -251,7 +252,8 @@ src/rls/CMakeFiles/rls_core.dir/update_manager.cpp.o: \
  /usr/include/c++/12/bits/regex.h /usr/include/c++/12/bits/regex.tcc \
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc \
- /root/repo/src/net/transport.h /root/repo/src/rls/lrc_store.h \
+ /root/repo/src/net/transport.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/histogram.h /root/repo/src/rls/lrc_store.h \
  /root/repo/src/dbapi/pool.h /root/repo/src/dbapi/dbapi.h \
  /root/repo/src/rdb/database.h /root/repo/src/rdb/profile.h \
  /root/repo/src/rdb/index.h /root/repo/src/rdb/heap.h \
@@ -266,4 +268,5 @@ src/rls/CMakeFiles/rls_core.dir/update_manager.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/logging.h /root/repo/src/common/strings.h
+ /root/repo/src/common/logging.h /root/repo/src/common/strings.h \
+ /root/repo/src/obs/trace.h

@@ -309,4 +309,6 @@ tests/CMakeFiles/dbapi_test.dir/dbapi_test.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/dbapi/pool.h
+ /root/repo/src/dbapi/pool.h /root/repo/src/common/clock.h \
+ /usr/include/c++/12/condition_variable /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/histogram.h

@@ -204,12 +204,12 @@ tests/CMakeFiles/locator_test.dir/locator_test.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/error.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/rls/client.h /root/repo/src/net/rpc.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/atomic \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -249,7 +249,8 @@ tests/CMakeFiles/locator_test.dir/locator_test.cpp.o: \
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc \
  /root/repo/src/net/transport.h /usr/include/c++/12/condition_variable \
- /root/repo/src/common/clock.h /root/repo/src/rls/protocol.h \
+ /root/repo/src/common/clock.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/histogram.h /root/repo/src/rls/protocol.h \
  /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/rls/types.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
@@ -321,7 +322,8 @@ tests/CMakeFiles/locator_test.dir/locator_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/workload.h /root/repo/src/common/rng.h \
- /root/repo/src/rls/rls_server.h /root/repo/src/common/histogram.h \
+ /root/repo/src/rls/rls_server.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/dbapi/dbapi.h /root/repo/src/rdb/database.h \
  /root/repo/src/rdb/profile.h /root/repo/src/rdb/index.h \
  /root/repo/src/rdb/heap.h /root/repo/src/rdb/value.h \
@@ -329,6 +331,8 @@ tests/CMakeFiles/locator_test.dir/locator_test.cpp.o: \
  /root/repo/src/rdb/schema.h /root/repo/src/rdb/wal.h \
  /root/repo/src/sql/engine.h /root/repo/src/sql/ast.h \
  /root/repo/src/sql/result_set.h /root/repo/src/sql/session.h \
- /root/repo/src/rls/lrc_store.h /root/repo/src/dbapi/pool.h \
- /root/repo/src/rls/rli_store.h /root/repo/src/bloom/bloom_filter.h \
- /root/repo/src/bloom/hashing.h /root/repo/src/rls/update_manager.h
+ /root/repo/src/obs/exporter.h /root/repo/src/rls/lrc_store.h \
+ /root/repo/src/dbapi/pool.h /root/repo/src/rls/rli_store.h \
+ /root/repo/src/bloom/bloom_filter.h /root/repo/src/bloom/hashing.h \
+ /root/repo/src/rls/update_manager.h \
+ /root/repo/src/common/trace_context.h

@@ -319,4 +319,5 @@ tests/CMakeFiles/net_capacity_test.dir/net_capacity_test.cpp.o: \
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc \
  /root/repo/src/common/error.h /root/repo/src/net/transport.h \
- /usr/include/c++/12/condition_variable /root/repo/src/common/clock.h
+ /usr/include/c++/12/condition_variable /root/repo/src/common/clock.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/common/histogram.h

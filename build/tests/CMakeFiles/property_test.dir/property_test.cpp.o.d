@@ -298,13 +298,21 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /root/repo/src/rls/lrc_store.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/dbapi/pool.h \
+ /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/dbapi/dbapi.h /root/repo/src/rdb/database.h \
- /root/repo/src/rdb/profile.h /usr/include/c++/12/chrono \
- /root/repo/src/rdb/index.h /root/repo/src/rdb/heap.h \
- /root/repo/src/rdb/value.h /root/repo/src/rdb/table.h \
- /usr/include/c++/12/shared_mutex /root/repo/src/rdb/schema.h \
- /root/repo/src/rdb/wal.h /root/repo/src/sql/engine.h \
- /root/repo/src/sql/ast.h /root/repo/src/sql/result_set.h \
- /root/repo/src/sql/session.h /root/repo/src/rls/protocol.h \
- /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \
- /root/repo/src/rls/types.h
+ /root/repo/src/rdb/profile.h /root/repo/src/rdb/index.h \
+ /root/repo/src/rdb/heap.h /root/repo/src/rdb/value.h \
+ /root/repo/src/rdb/table.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/rdb/schema.h /root/repo/src/rdb/wal.h \
+ /root/repo/src/sql/engine.h /root/repo/src/sql/ast.h \
+ /root/repo/src/sql/result_set.h /root/repo/src/sql/session.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/common/histogram.h \
+ /root/repo/src/rls/protocol.h /root/repo/src/net/serialize.h \
+ /usr/include/c++/12/cstring /root/repo/src/rls/types.h

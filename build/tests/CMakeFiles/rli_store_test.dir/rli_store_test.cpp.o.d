@@ -237,7 +237,8 @@ tests/CMakeFiles/rli_store_test.dir/rli_store_test.cpp.o: \
  /usr/include/c++/12/optional /root/repo/src/rdb/schema.h \
  /root/repo/src/rdb/wal.h /root/repo/src/sql/engine.h \
  /root/repo/src/sql/ast.h /root/repo/src/sql/result_set.h \
- /root/repo/src/sql/session.h /root/repo/src/rls/types.h \
+ /root/repo/src/sql/session.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/histogram.h /root/repo/src/rls/types.h \
  /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
