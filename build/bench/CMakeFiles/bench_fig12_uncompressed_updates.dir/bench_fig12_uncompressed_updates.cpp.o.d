@@ -247,9 +247,9 @@ bench/CMakeFiles/bench_fig12_uncompressed_updates.dir/bench_fig12_uncompressed_u
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rdb/index.h \
- /root/repo/src/rdb/heap.h /root/repo/src/rdb/value.h \
- /usr/include/c++/12/variant /root/repo/src/rdb/table.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/optional \
+ /usr/include/c++/12/atomic /root/repo/src/rdb/heap.h \
+ /root/repo/src/rdb/value.h /usr/include/c++/12/variant \
+ /root/repo/src/rdb/table.h /usr/include/c++/12/optional \
  /usr/include/c++/12/shared_mutex /root/repo/src/rdb/schema.h \
  /root/repo/src/rdb/wal.h /root/repo/src/sql/engine.h \
  /root/repo/src/sql/ast.h /root/repo/src/sql/result_set.h \
@@ -283,7 +283,9 @@ bench/CMakeFiles/bench_fig12_uncompressed_updates.dir/bench_fig12_uncompressed_u
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc \
  /root/repo/src/net/transport.h /usr/include/c++/12/condition_variable \
- /root/repo/src/common/clock.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/clock.h /root/repo/src/net/fault.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/obs/metrics.h \
  /root/repo/src/common/histogram.h /root/repo/src/rls/protocol.h \
  /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/rls/types.h \

@@ -234,8 +234,9 @@ examples/CMakeFiles/esg_federation.dir/esg_federation.cpp.o: \
  /root/repo/src/sql/engine.h /root/repo/src/sql/ast.h \
  /root/repo/src/sql/result_set.h /root/repo/src/sql/session.h \
  /root/repo/src/rls/client.h /root/repo/src/net/rpc.h \
- /root/repo/src/gsi/gsi.h /usr/include/c++/12/regex \
- /usr/include/c++/12/bitset /usr/include/c++/12/locale \
+ /root/repo/src/common/rng.h /root/repo/src/gsi/gsi.h \
+ /usr/include/c++/12/regex /usr/include/c++/12/bitset \
+ /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
@@ -256,7 +257,9 @@ examples/CMakeFiles/esg_federation.dir/esg_federation.cpp.o: \
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc \
  /root/repo/src/net/transport.h /usr/include/c++/12/condition_variable \
- /root/repo/src/common/clock.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/clock.h /root/repo/src/net/fault.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/obs/metrics.h \
  /root/repo/src/common/histogram.h /root/repo/src/rls/protocol.h \
  /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/rls/types.h \

@@ -216,21 +216,21 @@ examples/CMakeFiles/ligo_catalog.dir/ligo_catalog.cpp.o: \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rdb/index.h \
- /root/repo/src/rdb/heap.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/atomic /root/repo/src/rdb/heap.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/rdb/value.h \
  /usr/include/c++/12/variant /root/repo/src/rdb/table.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/optional \
- /usr/include/c++/12/shared_mutex /root/repo/src/rdb/schema.h \
- /root/repo/src/rdb/wal.h /root/repo/src/sql/engine.h \
- /root/repo/src/sql/ast.h /root/repo/src/sql/result_set.h \
- /root/repo/src/sql/session.h /root/repo/src/rls/client.h \
- /root/repo/src/net/rpc.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/shared_mutex \
+ /root/repo/src/rdb/schema.h /root/repo/src/rdb/wal.h \
+ /root/repo/src/sql/engine.h /root/repo/src/sql/ast.h \
+ /root/repo/src/sql/result_set.h /root/repo/src/sql/session.h \
+ /root/repo/src/rls/client.h /root/repo/src/net/rpc.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -257,7 +257,9 @@ examples/CMakeFiles/ligo_catalog.dir/ligo_catalog.cpp.o: \
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc \
  /root/repo/src/net/transport.h /usr/include/c++/12/condition_variable \
- /root/repo/src/common/clock.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/clock.h /root/repo/src/net/fault.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/obs/metrics.h \
  /root/repo/src/common/histogram.h /root/repo/src/rls/protocol.h \
  /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/rls/types.h \

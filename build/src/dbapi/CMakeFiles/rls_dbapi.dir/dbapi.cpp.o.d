@@ -215,16 +215,15 @@ src/dbapi/CMakeFiles/rls_dbapi.dir/dbapi.cpp.o: \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rdb/index.h \
- /root/repo/src/rdb/heap.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/atomic /root/repo/src/rdb/heap.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/rdb/value.h \
  /usr/include/c++/12/variant /root/repo/src/rdb/table.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/optional \
- /usr/include/c++/12/shared_mutex /root/repo/src/rdb/schema.h \
- /root/repo/src/rdb/wal.h /root/repo/src/sql/engine.h \
- /root/repo/src/sql/ast.h /root/repo/src/sql/result_set.h \
- /root/repo/src/sql/session.h /root/repo/src/common/strings.h \
- /root/repo/src/sql/parser.h
+ /usr/include/c++/12/optional /usr/include/c++/12/shared_mutex \
+ /root/repo/src/rdb/schema.h /root/repo/src/rdb/wal.h \
+ /root/repo/src/sql/engine.h /root/repo/src/sql/ast.h \
+ /root/repo/src/sql/result_set.h /root/repo/src/sql/session.h \
+ /root/repo/src/common/strings.h /root/repo/src/sql/parser.h

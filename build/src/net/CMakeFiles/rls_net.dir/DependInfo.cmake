@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fault.cpp" "src/net/CMakeFiles/rls_net.dir/fault.cpp.o" "gcc" "src/net/CMakeFiles/rls_net.dir/fault.cpp.o.d"
   "/root/repo/src/net/rpc.cpp" "src/net/CMakeFiles/rls_net.dir/rpc.cpp.o" "gcc" "src/net/CMakeFiles/rls_net.dir/rpc.cpp.o.d"
   "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/rls_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/rls_net.dir/transport.cpp.o.d"
   )

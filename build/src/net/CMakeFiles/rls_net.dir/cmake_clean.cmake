@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/rls_net.dir/fault.cpp.o"
+  "CMakeFiles/rls_net.dir/fault.cpp.o.d"
   "CMakeFiles/rls_net.dir/rpc.cpp.o"
   "CMakeFiles/rls_net.dir/rpc.cpp.o.d"
   "CMakeFiles/rls_net.dir/transport.cpp.o"

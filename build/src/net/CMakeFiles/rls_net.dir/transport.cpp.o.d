@@ -228,4 +228,7 @@ src/net/CMakeFiles/rls_net.dir/transport.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
  /root/repo/src/common/clock.h /root/repo/src/common/error.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/net/fault.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/common/rng.h

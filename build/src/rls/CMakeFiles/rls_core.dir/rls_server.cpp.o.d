@@ -256,7 +256,10 @@ src/rls/CMakeFiles/rls_core.dir/rls_server.cpp.o: \
  /usr/include/c++/12/bits/regex.h /usr/include/c++/12/bits/regex.tcc \
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc /root/repo/src/net/rpc.h \
- /root/repo/src/net/transport.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/rng.h /root/repo/src/net/transport.h \
+ /root/repo/src/net/fault.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/obs/metrics.h \
  /root/repo/src/obs/exporter.h /root/repo/src/rls/lrc_store.h \
  /root/repo/src/dbapi/pool.h /root/repo/src/rls/protocol.h \
  /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \

@@ -230,9 +230,10 @@ src/rls/CMakeFiles/rls_core.dir/update_manager.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/gsi/gsi.h \
- /usr/include/c++/12/optional /usr/include/c++/12/regex \
- /usr/include/c++/12/bitset /usr/include/c++/12/locale \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/rng.h \
+ /root/repo/src/gsi/gsi.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/regex /usr/include/c++/12/bitset \
+ /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
@@ -252,7 +253,9 @@ src/rls/CMakeFiles/rls_core.dir/update_manager.cpp.o: \
  /usr/include/c++/12/bits/regex.h /usr/include/c++/12/bits/regex.tcc \
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc \
- /root/repo/src/net/transport.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/net/transport.h /root/repo/src/net/fault.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/obs/metrics.h \
  /root/repo/src/common/histogram.h /root/repo/src/rls/lrc_store.h \
  /root/repo/src/dbapi/pool.h /root/repo/src/dbapi/dbapi.h \
  /root/repo/src/rdb/database.h /root/repo/src/rdb/profile.h \

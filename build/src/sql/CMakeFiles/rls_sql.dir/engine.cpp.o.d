@@ -209,8 +209,8 @@ src/sql/CMakeFiles/rls_sql.dir/engine.cpp.o: \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rdb/index.h \
- /root/repo/src/rdb/heap.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/atomic /root/repo/src/rdb/heap.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -220,11 +220,11 @@ src/sql/CMakeFiles/rls_sql.dir/engine.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/rdb/value.h \
  /usr/include/c++/12/variant /root/repo/src/rdb/table.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/optional \
- /usr/include/c++/12/shared_mutex /root/repo/src/rdb/schema.h \
- /root/repo/src/rdb/wal.h /root/repo/src/sql/ast.h \
- /root/repo/src/sql/result_set.h /root/repo/src/sql/session.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/shared_mutex \
+ /root/repo/src/rdb/schema.h /root/repo/src/rdb/wal.h \
+ /root/repo/src/sql/ast.h /root/repo/src/sql/result_set.h \
+ /root/repo/src/sql/session.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/strings.h /root/repo/src/sql/parser.h

@@ -205,7 +205,13 @@ tests/CMakeFiles/locator_test.dir/locator_test.cpp.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/rls/client.h /root/repo/src/net/rpc.h \
  /usr/include/c++/12/array /usr/include/c++/12/atomic \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -214,21 +220,16 @@ tests/CMakeFiles/locator_test.dir/locator_test.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /root/repo/src/gsi/gsi.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/optional \
- /usr/include/c++/12/regex /usr/include/c++/12/bitset \
- /usr/include/c++/12/locale \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/rng.h /root/repo/src/gsi/gsi.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/regex \
+ /usr/include/c++/12/bitset /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
@@ -249,7 +250,9 @@ tests/CMakeFiles/locator_test.dir/locator_test.cpp.o: \
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc \
  /root/repo/src/net/transport.h /usr/include/c++/12/condition_variable \
- /root/repo/src/common/clock.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/clock.h /root/repo/src/net/fault.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/obs/metrics.h \
  /root/repo/src/common/histogram.h /root/repo/src/rls/protocol.h \
  /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/rls/types.h \
@@ -300,8 +303,6 @@ tests/CMakeFiles/locator_test.dir/locator_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/idtype_t.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/float.h \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/quoted_string.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
  /root/miniconda/include/gtest/gtest-message.h \
  /root/miniconda/include/gtest/internal/gtest-filepath.h \
  /root/miniconda/include/gtest/internal/gtest-string.h \
@@ -321,18 +322,17 @@ tests/CMakeFiles/locator_test.dir/locator_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/common/workload.h /root/repo/src/common/rng.h \
- /root/repo/src/rls/rls_server.h /root/repo/src/common/thread_pool.h \
- /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
- /root/repo/src/dbapi/dbapi.h /root/repo/src/rdb/database.h \
- /root/repo/src/rdb/profile.h /root/repo/src/rdb/index.h \
- /root/repo/src/rdb/heap.h /root/repo/src/rdb/value.h \
- /root/repo/src/rdb/table.h /usr/include/c++/12/shared_mutex \
- /root/repo/src/rdb/schema.h /root/repo/src/rdb/wal.h \
- /root/repo/src/sql/engine.h /root/repo/src/sql/ast.h \
- /root/repo/src/sql/result_set.h /root/repo/src/sql/session.h \
- /root/repo/src/obs/exporter.h /root/repo/src/rls/lrc_store.h \
- /root/repo/src/dbapi/pool.h /root/repo/src/rls/rli_store.h \
- /root/repo/src/bloom/bloom_filter.h /root/repo/src/bloom/hashing.h \
- /root/repo/src/rls/update_manager.h \
+ /root/repo/src/common/workload.h /root/repo/src/rls/rls_server.h \
+ /root/repo/src/common/thread_pool.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/dbapi/dbapi.h \
+ /root/repo/src/rdb/database.h /root/repo/src/rdb/profile.h \
+ /root/repo/src/rdb/index.h /root/repo/src/rdb/heap.h \
+ /root/repo/src/rdb/value.h /root/repo/src/rdb/table.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/rdb/schema.h \
+ /root/repo/src/rdb/wal.h /root/repo/src/sql/engine.h \
+ /root/repo/src/sql/ast.h /root/repo/src/sql/result_set.h \
+ /root/repo/src/sql/session.h /root/repo/src/obs/exporter.h \
+ /root/repo/src/rls/lrc_store.h /root/repo/src/dbapi/pool.h \
+ /root/repo/src/rls/rli_store.h /root/repo/src/bloom/bloom_filter.h \
+ /root/repo/src/bloom/hashing.h /root/repo/src/rls/update_manager.h \
  /root/repo/src/common/trace_context.h

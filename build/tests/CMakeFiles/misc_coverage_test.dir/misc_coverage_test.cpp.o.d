@@ -308,10 +308,11 @@ tests/CMakeFiles/misc_coverage_test.dir/misc_coverage_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /root/repo/src/common/clock.h \
- /root/repo/src/rls/client.h /root/repo/src/net/rpc.h \
- /usr/include/c++/12/thread /root/repo/src/gsi/gsi.h \
- /usr/include/c++/12/regex /usr/include/c++/12/bitset \
- /usr/include/c++/12/stack /usr/include/c++/12/bits/stl_stack.h \
+ /root/repo/src/net/fault.h /root/repo/src/rls/client.h \
+ /root/repo/src/net/rpc.h /usr/include/c++/12/thread \
+ /root/repo/src/gsi/gsi.h /usr/include/c++/12/regex \
+ /usr/include/c++/12/bitset /usr/include/c++/12/stack \
+ /usr/include/c++/12/bits/stl_stack.h \
  /usr/include/c++/12/bits/regex_constants.h \
  /usr/include/c++/12/bits/regex_error.h \
  /usr/include/c++/12/bits/regex_automaton.h \

@@ -301,12 +301,12 @@ tests/CMakeFiles/net_capacity_test.dir/net_capacity_test.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /root/repo/src/net/rpc.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/gsi/gsi.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/regex /usr/include/c++/12/bitset \
- /usr/include/c++/12/stack /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_stack.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/rng.h \
+ /root/repo/src/gsi/gsi.h /usr/include/c++/12/regex \
+ /usr/include/c++/12/bitset /usr/include/c++/12/stack \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_stack.h \
  /usr/include/c++/12/bits/regex_constants.h \
  /usr/include/c++/12/bits/regex_error.h \
  /usr/include/c++/12/bits/regex_automaton.h \
@@ -320,4 +320,5 @@ tests/CMakeFiles/net_capacity_test.dir/net_capacity_test.cpp.o: \
  /usr/include/c++/12/bits/regex_executor.tcc \
  /root/repo/src/common/error.h /root/repo/src/net/transport.h \
  /usr/include/c++/12/condition_variable /root/repo/src/common/clock.h \
- /root/repo/src/obs/metrics.h /root/repo/src/common/histogram.h
+ /root/repo/src/net/fault.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/histogram.h

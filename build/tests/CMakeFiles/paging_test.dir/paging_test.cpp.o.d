@@ -294,19 +294,21 @@ tests/CMakeFiles/paging_test.dir/paging_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/rls/client.h /root/repo/src/common/error.h \
- /root/repo/src/net/rpc.h /usr/include/c++/12/mutex \
+ /root/repo/src/net/rpc.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /root/repo/src/gsi/gsi.h \
- /usr/include/c++/12/chrono /usr/include/c++/12/regex \
- /usr/include/c++/12/bitset /usr/include/c++/12/stack \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_stack.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/rng.h /root/repo/src/gsi/gsi.h \
+ /usr/include/c++/12/regex /usr/include/c++/12/bitset \
+ /usr/include/c++/12/stack /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_stack.h \
  /usr/include/c++/12/bits/regex_constants.h \
  /usr/include/c++/12/bits/regex_error.h \
  /usr/include/c++/12/bits/regex_automaton.h \
@@ -319,20 +321,21 @@ tests/CMakeFiles/paging_test.dir/paging_test.cpp.o: \
  /usr/include/c++/12/bits/regex_executor.h \
  /usr/include/c++/12/bits/regex_executor.tcc \
  /root/repo/src/net/transport.h /usr/include/c++/12/condition_variable \
- /root/repo/src/common/clock.h /root/repo/src/obs/metrics.h \
- /root/repo/src/common/histogram.h /root/repo/src/rls/protocol.h \
- /root/repo/src/net/serialize.h /usr/include/c++/12/cstring \
- /root/repo/src/rls/types.h /root/repo/src/rls/rls_server.h \
- /root/repo/src/common/thread_pool.h /usr/include/c++/12/future \
- /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/dbapi/dbapi.h \
- /root/repo/src/rdb/database.h /root/repo/src/rdb/profile.h \
- /root/repo/src/rdb/index.h /root/repo/src/rdb/heap.h \
- /root/repo/src/rdb/value.h /root/repo/src/rdb/table.h \
- /usr/include/c++/12/shared_mutex /root/repo/src/rdb/schema.h \
- /root/repo/src/rdb/wal.h /root/repo/src/sql/engine.h \
- /root/repo/src/sql/ast.h /root/repo/src/sql/result_set.h \
- /root/repo/src/sql/session.h /root/repo/src/obs/exporter.h \
- /root/repo/src/rls/lrc_store.h /root/repo/src/dbapi/pool.h \
- /root/repo/src/rls/rli_store.h /root/repo/src/bloom/bloom_filter.h \
- /root/repo/src/bloom/hashing.h /root/repo/src/rls/update_manager.h \
+ /root/repo/src/common/clock.h /root/repo/src/net/fault.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/common/histogram.h \
+ /root/repo/src/rls/protocol.h /root/repo/src/net/serialize.h \
+ /usr/include/c++/12/cstring /root/repo/src/rls/types.h \
+ /root/repo/src/rls/rls_server.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /root/repo/src/dbapi/dbapi.h /root/repo/src/rdb/database.h \
+ /root/repo/src/rdb/profile.h /root/repo/src/rdb/index.h \
+ /root/repo/src/rdb/heap.h /root/repo/src/rdb/value.h \
+ /root/repo/src/rdb/table.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/rdb/schema.h /root/repo/src/rdb/wal.h \
+ /root/repo/src/sql/engine.h /root/repo/src/sql/ast.h \
+ /root/repo/src/sql/result_set.h /root/repo/src/sql/session.h \
+ /root/repo/src/obs/exporter.h /root/repo/src/rls/lrc_store.h \
+ /root/repo/src/dbapi/pool.h /root/repo/src/rls/rli_store.h \
+ /root/repo/src/bloom/bloom_filter.h /root/repo/src/bloom/hashing.h \
+ /root/repo/src/rls/update_manager.h \
  /root/repo/src/common/trace_context.h

@@ -209,8 +209,8 @@ tests/CMakeFiles/sql_engine_test.dir/sql_engine_test.cpp.o: \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/rdb/index.h \
- /root/repo/src/rdb/heap.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/atomic /root/repo/src/rdb/heap.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -220,11 +220,11 @@ tests/CMakeFiles/sql_engine_test.dir/sql_engine_test.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/rdb/value.h \
  /usr/include/c++/12/variant /root/repo/src/rdb/table.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/optional \
- /usr/include/c++/12/shared_mutex /root/repo/src/rdb/schema.h \
- /root/repo/src/rdb/wal.h /root/repo/src/sql/ast.h \
- /root/repo/src/sql/result_set.h /root/repo/src/sql/session.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/optional /usr/include/c++/12/shared_mutex \
+ /root/repo/src/rdb/schema.h /root/repo/src/rdb/wal.h \
+ /root/repo/src/sql/ast.h /root/repo/src/sql/result_set.h \
+ /root/repo/src/sql/session.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/cstddef \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

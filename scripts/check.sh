@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds and runs the test suite plain, under TSan, and
+# under ASan+UBSan, so races like the old HashIndex probe-counter one
+# can't land silently.
+#
+# Usage: scripts/check.sh [plain|thread|address,undefined]...
+#   (no arguments = all three configurations)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+configs=("$@")
+if [ ${#configs[@]} -eq 0 ]; then
+  configs=(plain thread "address,undefined")
+fi
+
+for config in "${configs[@]}"; do
+  case "$config" in
+    plain)
+      dir=build-check
+      flags=(-DRLS_SANITIZE=)
+      ;;
+    thread)
+      dir=build-check-tsan
+      flags=(-DRLS_SANITIZE=thread)
+      ;;
+    address,undefined)
+      dir=build-check-asan
+      flags=(-DRLS_SANITIZE=address,undefined)
+      ;;
+    *)
+      echo "unknown config '$config' (want plain, thread or address,undefined)" >&2
+      exit 2
+      ;;
+  esac
+
+  echo "=== [$config] configure + build ($dir)"
+  cmake -B "$dir" -S . "${flags[@]}" >/dev/null
+  cmake --build "$dir" -j
+  echo "=== [$config] ctest"
+  ctest --test-dir "$dir" --output-on-failure -j"$(nproc)"
+done
+
+echo "=== all sanitizer configurations passed"

@@ -33,6 +33,14 @@ enum class ErrorCode {
 /// Human-readable name of an ErrorCode ("NOT_FOUND", ...).
 std::string_view ErrorCodeName(ErrorCode code);
 
+/// True for transient transport-level failures worth retrying: the server
+/// was unreachable (kUnavailable) or did not answer within the deadline
+/// (kTimeout). Everything else — including kProtocol (a malformed reply:
+/// retrying won't unscramble it) and all application errors — is final.
+constexpr bool IsRetryableError(ErrorCode code) {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout;
+}
+
 /// Lightweight result status. Functions that can fail in expected ways
 /// return Status (or StatusOr-like pairs) instead of throwing.
 class [[nodiscard]] Status {

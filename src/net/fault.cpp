@@ -1,0 +1,147 @@
+#include "net/fault.h"
+
+namespace net {
+
+using rlscommon::Status;
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDisconnect: return "disconnect";
+    case FaultKind::kConnectRefused: return "connect_refused";
+    case FaultKind::kBlackoutDrop: return "blackout_drop";
+    case FaultKind::kPartitionDrop: return "partition_drop";
+  }
+  return "?";
+}
+
+void FaultInjector::SetPlan(const std::string& endpoint, FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_[endpoint] = plan;
+}
+
+void FaultInjector::ClearPlan(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.erase(endpoint);
+}
+
+void FaultInjector::Partition(const std::string& a, const std::string& b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.insert(PairKey(a, b));
+}
+
+void FaultInjector::Heal(const std::string& a, const std::string& b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.erase(PairKey(a, b));
+}
+
+void FaultInjector::HealAllPartitions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.clear();
+}
+
+void FaultInjector::BlackoutFor(const std::string& endpoint,
+                                rlscommon::Duration window) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blackout_until_[endpoint] = clock_->Now() + window;
+}
+
+void FaultInjector::Blackout(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blackout_until_[endpoint] = rlscommon::TimePoint::max();
+}
+
+void FaultInjector::ClearBlackout(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  blackout_until_.erase(endpoint);
+}
+
+bool FaultInjector::IsBlackedOut(const std::string& endpoint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return BlackedOutLocked(endpoint);
+}
+
+bool FaultInjector::BlackedOutLocked(const std::string& endpoint) const {
+  auto it = blackout_until_.find(endpoint);
+  if (it == blackout_until_.end()) return false;
+  return it->second == rlscommon::TimePoint::max() || clock_->Now() < it->second;
+}
+
+void FaultInjector::RecordLocked(FaultKind kind, const std::string& from,
+                                 const std::string& to) {
+  events_.push_back(FaultEvent{next_seq_++, kind, from, to});
+}
+
+Status FaultInjector::OnConnect(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (BlackedOutLocked(to) || partitions_.count(PairKey(from, to))) {
+    RecordLocked(FaultKind::kConnectRefused, from, to);
+    ++connects_refused_;
+    return Status::Unavailable("fault: endpoint unreachable: " + to);
+  }
+  auto plan = plans_.find(to);
+  if (plan != plans_.end() && plan->second.connect_failure_probability > 0 &&
+      rng_.NextDouble() < plan->second.connect_failure_probability) {
+    RecordLocked(FaultKind::kConnectRefused, from, to);
+    ++connects_refused_;
+    return Status::Unavailable("fault: connect to " + to + " refused");
+  }
+  return Status::Ok();
+}
+
+SendVerdict FaultInjector::OnSend(const std::string& from, const std::string& to,
+                                  uint64_t message_index,
+                                  rlscommon::Duration* extra_delay) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partitions_.count(PairKey(from, to))) {
+    RecordLocked(FaultKind::kPartitionDrop, from, to);
+    ++drops_;
+    return SendVerdict::kDrop;
+  }
+  // A dark endpoint neither receives nor emits: both directions drop.
+  if (BlackedOutLocked(to) || BlackedOutLocked(from)) {
+    RecordLocked(FaultKind::kBlackoutDrop, from, to);
+    ++drops_;
+    return SendVerdict::kDrop;
+  }
+  auto it = plans_.find(to);
+  if (it == plans_.end()) return SendVerdict::kDeliver;
+  const FaultPlan& plan = it->second;
+  if (plan.disconnect_after_messages > 0 &&
+      message_index > plan.disconnect_after_messages) {
+    RecordLocked(FaultKind::kDisconnect, from, to);
+    ++disconnects_;
+    return SendVerdict::kDisconnect;
+  }
+  if (plan.drop_probability > 0 && rng_.NextDouble() < plan.drop_probability) {
+    RecordLocked(FaultKind::kDrop, from, to);
+    ++drops_;
+    return SendVerdict::kDrop;
+  }
+  if (extra_delay && plan.extra_latency.count() > 0) {
+    *extra_delay += std::chrono::duration_cast<rlscommon::Duration>(plan.extra_latency);
+  }
+  return SendVerdict::kDeliver;
+}
+
+std::vector<FaultEvent> FaultInjector::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+uint64_t FaultInjector::drops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drops_;
+}
+
+uint64_t FaultInjector::disconnects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disconnects_;
+}
+
+uint64_t FaultInjector::connects_refused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connects_refused_;
+}
+
+}  // namespace net

@@ -1,5 +1,7 @@
 #include "net/rpc.h"
 
+#include <algorithm>
+
 #include "common/clock.h"
 #include "common/logging.h"
 #include "net/serialize.h"
@@ -160,19 +162,66 @@ void RpcServer::ServeConnection(std::shared_ptr<Connection> conn) {
 Status RpcClient::Connect(Network* network, const std::string& address,
                           const ClientOptions& options,
                           std::unique_ptr<RpcClient>* out) {
-  ConnectionPtr conn;
-  Status s = network->Connect(address, options.link, &conn);
-  if (!s.ok()) return s;
-  std::unique_ptr<RpcClient> client(new RpcClient(std::move(conn)));
+  std::unique_ptr<RpcClient> client(
+      new RpcClient(network, address, options));
+  // Run the handshake through Call() so connect failures get the same
+  // retry/backoff treatment as any other transient transport error.
   std::string response;
-  s = client->Call(kOpcodeAuth, options.credential.dn, &response);
+  Status s = client->Call(kOpcodeAuth, options.credential.dn, &response);
   if (!s.ok()) return s;
   *out = std::move(client);
   return Status::Ok();
 }
 
-Status RpcClient::Call(uint16_t opcode, const std::string& request,
-                       std::string* response) {
+Status RpcClient::EnsureConnected() {
+  if (conn_ && !conn_->closed()) return Status::Ok();
+  if (conn_) {
+    bytes_sent_prior_ += conn_->bytes_sent();
+    conn_.reset();
+  }
+  ConnectionPtr conn;
+  Status s = network_->Connect(address_, options_.link, &conn,
+                               options_.identity);
+  if (!s.ok()) {
+    // A vanished listener is a transient condition (the server may
+    // restart) — surface it as retryable UNAVAILABLE, not NotFound.
+    if (s.code() == ErrorCode::kNotFound) {
+      return Status::Unavailable("server unreachable: " + s.message());
+    }
+    return s;
+  }
+  conn_ = std::move(conn);
+  if (ever_connected_) {
+    ++reconnects_;
+    if (options_.metrics) {
+      options_.metrics->GetCounter("rpc_client_reconnects_total")->Increment();
+    }
+    // Re-authenticate on the fresh connection. Do it inline (not via
+    // Call) to avoid recursing into the retry loop.
+    Message auth;
+    auth.request_id = next_request_id_++;
+    auth.opcode = kOpcodeAuth;
+    auth.payload = options_.credential.dn;
+    s = conn_->Send(std::move(auth));
+    if (!s.ok()) return s;
+    Message reply;
+    const auto timeout = options_.call_timeout;
+    for (;;) {
+      s = timeout.count() > 0 ? conn_->RecvFor(&reply, timeout)
+                              : conn_->Recv(&reply);
+      if (!s.ok()) return s;
+      if (reply.is_response() && reply.opcode == kOpcodeAuth) break;
+    }
+    if (reply.is_error()) return DecodeError(reply.payload);
+  }
+  ever_connected_ = true;
+  return Status::Ok();
+}
+
+Status RpcClient::CallOnce(uint16_t opcode, const std::string& request,
+                           std::string* response) {
+  Status s = EnsureConnected();
+  if (!s.ok()) return s;
   const uint32_t request_id = next_request_id_++;
   Message msg;
   msg.request_id = request_id;
@@ -183,11 +232,26 @@ Status RpcClient::Call(uint16_t opcode, const std::string& request,
   rlscommon::TraceContext trace = rlscommon::CurrentTrace();
   msg.trace_id = trace.valid() ? trace.trace_id : obs::NewTraceId();
   msg.span_id = obs::NewTraceId();
-  Status s = conn_->Send(std::move(msg));
+  // The deadline covers send + wait: the link delay charged by Send()
+  // counts against it.
+  const bool bounded = options_.call_timeout.count() > 0;
+  const rlscommon::TimePoint deadline =
+      rlscommon::SystemClock::Instance()->Now() +
+      std::chrono::duration_cast<rlscommon::Duration>(options_.call_timeout);
+  s = conn_->Send(std::move(msg));
   if (!s.ok()) return s;
   Message reply;
   for (;;) {
-    s = conn_->Recv(&reply);
+    if (bounded) {
+      const rlscommon::Duration remaining =
+          deadline - rlscommon::SystemClock::Instance()->Now();
+      if (remaining <= rlscommon::Duration::zero()) {
+        return Status::Timeout("rpc deadline exceeded calling " + address_);
+      }
+      s = conn_->RecvFor(&reply, remaining);
+    } else {
+      s = conn_->Recv(&reply);
+    }
     if (!s.ok()) return s;
     if (!reply.is_response() || reply.request_id != request_id) {
       // Stale response from an aborted earlier call — skip it.
@@ -198,6 +262,45 @@ Status RpcClient::Call(uint16_t opcode, const std::string& request,
   if (reply.is_error()) return DecodeError(reply.payload);
   if (response) *response = std::move(reply.payload);
   return Status::Ok();
+}
+
+rlscommon::Duration RpcClient::NextBackoff(int attempt) {
+  const RetryPolicy& p = options_.retry;
+  double backoff_ms = static_cast<double>(p.initial_backoff.count());
+  for (int i = 1; i < attempt; ++i) backoff_ms *= p.multiplier;
+  backoff_ms = std::min(backoff_ms, static_cast<double>(p.max_backoff.count()));
+  if (p.jitter > 0) {
+    // Uniform in [1 - jitter, 1 + jitter], from the client's own seeded
+    // stream so chaos runs replay exactly.
+    backoff_ms *= 1.0 + p.jitter * (2.0 * jitter_rng_.NextDouble() - 1.0);
+  }
+  return std::chrono::duration_cast<rlscommon::Duration>(
+      std::chrono::duration<double, std::milli>(backoff_ms));
+}
+
+Status RpcClient::Call(uint16_t opcode, const std::string& request,
+                       std::string* response) {
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
+  Status s;
+  for (int attempt = 1;; ++attempt) {
+    s = CallOnce(opcode, request, response);
+    if (s.ok() || !rlscommon::IsRetryableError(s.code())) return s;
+    if (s.code() == ErrorCode::kTimeout && options_.metrics) {
+      options_.metrics->GetCounter("rpc_client_timeouts_total")->Increment();
+    }
+    if (attempt >= max_attempts) return s;
+    // A timed-out connection may still deliver the late response; drop
+    // the connection so the retry starts clean.
+    if (conn_) conn_->Close();
+    ++retries_;
+    if (options_.metrics) {
+      options_.metrics->GetCounter("rpc_client_retries_total")->Increment();
+    }
+    const rlscommon::Duration backoff = NextBackoff(attempt);
+    if (backoff > rlscommon::Duration::zero()) {
+      rlscommon::SystemClock::Instance()->SleepFor(backoff);
+    }
+  }
 }
 
 }  // namespace net

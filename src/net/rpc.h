@@ -13,6 +13,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -21,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "gsi/gsi.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
@@ -108,33 +110,112 @@ class RpcServer {
   std::vector<std::thread> threads_;
 };
 
+/// Retry policy for transient transport failures. Attempt k (0-based)
+/// sleeps initial_backoff * multiplier^(k-1) before retrying, capped at
+/// max_backoff, with up to ±jitter fraction of randomization so a fleet
+/// of clients doesn't thunder in lock-step. Only retryable codes
+/// (UNAVAILABLE, TIMEOUT — see rlscommon::IsRetryableError) are retried;
+/// PROTOCOL and application errors fail immediately.
+struct RetryPolicy {
+  int max_attempts = 1;  // 1 = no retry
+  std::chrono::milliseconds initial_backoff{10};
+  std::chrono::milliseconds max_backoff{1000};
+  double multiplier = 2.0;
+  double jitter = 0.2;
+
+  /// The paper-style default for soft-state senders and chaos tests.
+  static RetryPolicy Standard() {
+    RetryPolicy p;
+    p.max_attempts = 4;
+    return p;
+  }
+};
+
 struct ClientOptions {
   gsi::Credential credential;           // empty DN = anonymous
   LinkModel link = LinkModel::Loopback();
+
+  /// The client's endpoint identity on the fabric — what the fault
+  /// injector keys partitions/blackouts on. Default "client".
+  std::string identity = "client";
+
+  /// Per-call deadline; zero = wait forever (the pre-resilience
+  /// behavior). When it expires the call fails with TIMEOUT.
+  std::chrono::milliseconds call_timeout{0};
+
+  RetryPolicy retry;
+
+  /// Seed for the backoff jitter stream (deterministic chaos tests).
+  uint64_t retry_seed = 0x5ca1ab1e;
+
+  /// When set, the client counts rpc_client_retries_total,
+  /// rpc_client_timeouts_total and rpc_client_reconnects_total here.
+  /// The registry must outlive the client.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Blocking RPC client: one outstanding call at a time (use one client
 /// per thread, like the paper's multi-threaded test client).
+///
+/// Error taxonomy of Call():
+///   UNAVAILABLE — could not reach the server (no listener, connection
+///                 closed/refused, forced disconnect); retryable.
+///   TIMEOUT     — no response within call_timeout; retryable.
+///   PROTOCOL    — the server answered with a malformed frame; NOT
+///                 retryable (garbled data won't unscramble itself).
+///   anything else — the server's own application Status, verbatim.
+/// Retryable failures are retried per ClientOptions::retry, reconnecting
+/// (and re-authenticating) as needed between attempts.
 class RpcClient {
  public:
-  /// Connects and completes the AUTH handshake.
+  /// Connects and completes the AUTH handshake. A connect failure is
+  /// UNAVAILABLE (retried here per the policy too).
   static rlscommon::Status Connect(Network* network, const std::string& address,
                                    const ClientOptions& options,
                                    std::unique_ptr<RpcClient>* out);
 
   /// Issues one call and waits for its response. Server-side failures
-  /// come back as the server's Status.
+  /// come back as the server's Status; see the taxonomy above.
   rlscommon::Status Call(uint16_t opcode, const std::string& request,
                          std::string* response);
 
-  void Close() { conn_->Close(); }
+  void Close() {
+    if (conn_) conn_->Close();
+  }
 
-  uint64_t bytes_sent() const { return conn_->bytes_sent(); }
+  uint64_t bytes_sent() const {
+    return bytes_sent_prior_ + (conn_ ? conn_->bytes_sent() : 0);
+  }
+
+  /// Transport-level retries performed over this client's lifetime.
+  uint64_t retries() const { return retries_; }
+  uint64_t reconnects() const { return reconnects_; }
 
  private:
-  explicit RpcClient(ConnectionPtr conn) : conn_(std::move(conn)) {}
+  RpcClient(Network* network, std::string address, ClientOptions options)
+      : network_(network),
+        address_(std::move(address)),
+        options_(std::move(options)),
+        jitter_rng_(options_.retry_seed) {}
 
+  /// (Re)establishes the connection + AUTH handshake if needed.
+  rlscommon::Status EnsureConnected();
+
+  /// One attempt: send, await the matching response until the deadline.
+  rlscommon::Status CallOnce(uint16_t opcode, const std::string& request,
+                             std::string* response);
+
+  rlscommon::Duration NextBackoff(int attempt);
+
+  Network* network_;
+  std::string address_;
+  ClientOptions options_;
+  rlscommon::Xoshiro256 jitter_rng_;
   ConnectionPtr conn_;
+  bool ever_connected_ = false;
+  uint64_t bytes_sent_prior_ = 0;  // from connections since replaced
+  uint64_t retries_ = 0;
+  uint64_t reconnects_ = 0;
   uint32_t next_request_id_ = 1;
 };
 

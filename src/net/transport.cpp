@@ -23,6 +23,17 @@ Status MessageQueue::Pop(Message* out) {
   return Status::Ok();
 }
 
+Status MessageQueue::PopFor(Message* out, rlscommon::Duration timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [this] { return closed_ || !queue_.empty(); })) {
+    return Status::Timeout("recv deadline exceeded");
+  }
+  if (queue_.empty()) return Status::Unavailable("connection closed");
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return Status::Ok();
+}
+
 Status MessageQueue::TryPop(Message* out) {
   std::lock_guard<std::mutex> lock(mu_);
   if (queue_.empty()) {
@@ -66,28 +77,47 @@ void RateLimiter::Acquire(std::size_t bytes) {
 Connection::Connection(std::shared_ptr<MessageQueue> incoming,
                        std::shared_ptr<MessageQueue> outgoing, LinkModel link,
                        rlscommon::Clock* clock, std::string peer,
-                       std::shared_ptr<RateLimiter> peer_inbound)
+                       std::shared_ptr<RateLimiter> peer_inbound,
+                       std::string local, FaultInjector* faults)
     : incoming_(std::move(incoming)),
       outgoing_(std::move(outgoing)),
       link_(link),
       clock_(clock),
       peer_(std::move(peer)),
-      peer_inbound_(std::move(peer_inbound)) {}
+      peer_inbound_(std::move(peer_inbound)),
+      local_(std::move(local)),
+      faults_(faults) {}
 
 Status Connection::Send(Message msg) {
   const std::size_t bytes = msg.WireBytes();
-  const rlscommon::Duration delay = link_.DelayFor(bytes);
+  rlscommon::Duration delay = link_.DelayFor(bytes);
+  SendVerdict verdict = SendVerdict::kDeliver;
+  if (faults_) {
+    const uint64_t index = messages_sent_.load(std::memory_order_relaxed) + 1;
+    verdict = faults_->OnSend(local_, peer_, index, &delay);
+  }
+  if (verdict == SendVerdict::kDisconnect) {
+    Close();
+    return Status::Unavailable("fault: forced disconnect from " + peer_);
+  }
   if (delay > rlscommon::Duration::zero()) clock_->SleepFor(delay);
+  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  // A dropped message still charged the link and counts as sent — the
+  // sender cannot tell; its RPC deadline will.
+  if (verdict == SendVerdict::kDrop) return Status::Ok();
   if (peer_inbound_) peer_inbound_->Acquire(bytes);
   if (!outgoing_->Push(std::move(msg))) {
     return Status::Unavailable("peer closed connection to " + peer_);
   }
-  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
-  messages_sent_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status Connection::Recv(Message* out) { return incoming_->Pop(out); }
+
+Status Connection::RecvFor(Message* out, rlscommon::Duration timeout) {
+  return incoming_->PopFor(out, timeout);
+}
 
 void Connection::Close() {
   incoming_->Close();
@@ -118,7 +148,11 @@ void Network::SetInboundCapacity(const std::string& address, double bytes_per_se
 }
 
 Status Network::Connect(const std::string& address, const LinkModel& link,
-                        ConnectionPtr* out) {
+                        ConnectionPtr* out, const std::string& local_identity) {
+  if (faults_) {
+    Status verdict = faults_->OnConnect(local_identity, address);
+    if (!verdict.ok()) return verdict;
+  }
   AcceptHandler handler;
   std::shared_ptr<RateLimiter> inbound;
   {
@@ -133,13 +167,20 @@ Status Network::Connect(const std::string& address, const LinkModel& link,
   }
   auto client_to_server = std::make_shared<MessageQueue>();
   auto server_to_client = std::make_shared<MessageQueue>();
-  auto client_side = std::make_unique<Connection>(server_to_client, client_to_server,
-                                                  link, clock_, address, inbound);
-  auto server_side = std::make_unique<Connection>(client_to_server, server_to_client,
-                                                  link, clock_, "client");
+  auto client_side = std::make_unique<Connection>(
+      server_to_client, client_to_server, link, clock_, address, inbound,
+      local_identity, faults_.get());
+  auto server_side = std::make_unique<Connection>(
+      client_to_server, server_to_client, link, clock_, local_identity, nullptr,
+      address, faults_.get());
   handler(std::move(server_side));
   *out = std::move(client_side);
   return Status::Ok();
+}
+
+FaultInjector* Network::EnableFaultInjection(uint64_t seed) {
+  if (!faults_) faults_ = std::make_unique<FaultInjector>(seed, clock_);
+  return faults_.get();
 }
 
 }  // namespace net

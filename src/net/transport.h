@@ -24,6 +24,7 @@
 
 #include "common/clock.h"
 #include "common/error.h"
+#include "net/fault.h"
 
 namespace net {
 
@@ -105,6 +106,10 @@ class MessageQueue {
   /// drained.
   rlscommon::Status Pop(Message* out);
 
+  /// Like Pop but gives up after `timeout` (real time) with a Timeout
+  /// status. Backs RPC deadlines.
+  rlscommon::Status PopFor(Message* out, rlscommon::Duration timeout);
+
   /// Non-blocking variant; NotFound when empty.
   rlscommon::Status TryPop(Message* out);
 
@@ -118,29 +123,43 @@ class MessageQueue {
   bool closed_ = false;
 };
 
-/// One endpoint of an established connection.
+/// One endpoint of an established connection. `local`/`peer` are the
+/// endpoint identities the fault injector keys on (the listener address
+/// for the server side; the client's chosen identity, default "client",
+/// for the client side).
 class Connection {
  public:
   Connection(std::shared_ptr<MessageQueue> incoming,
              std::shared_ptr<MessageQueue> outgoing, LinkModel link,
              rlscommon::Clock* clock, std::string peer,
-             std::shared_ptr<RateLimiter> peer_inbound = nullptr);
+             std::shared_ptr<RateLimiter> peer_inbound = nullptr,
+             std::string local = "client", FaultInjector* faults = nullptr);
   ~Connection() { Close(); }
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
   /// Sends one message, charging the link delay first (blocks the
-  /// sender). Unavailable if the peer closed.
+  /// sender). Unavailable if the peer closed or a fault force-closed the
+  /// connection. An injected drop still returns OK — like a lost
+  /// datagram, the sender only finds out via its RPC deadline.
   rlscommon::Status Send(Message msg);
 
   /// Blocks for the next incoming message.
   rlscommon::Status Recv(Message* out);
 
+  /// Like Recv but gives up after `timeout` with a Timeout status.
+  rlscommon::Status RecvFor(Message* out, rlscommon::Duration timeout);
+
   /// Closes both directions; pending Recv calls wake with Unavailable.
   void Close();
 
+  /// True once either side closed the connection (both queues close
+  /// together, so checking the inbound one suffices).
+  bool closed() const { return incoming_->closed(); }
+
   const std::string& peer() const { return peer_; }
+  const std::string& local() const { return local_; }
   const LinkModel& link() const { return link_; }
 
   uint64_t bytes_sent() const { return bytes_sent_; }
@@ -153,6 +172,8 @@ class Connection {
   rlscommon::Clock* clock_;
   std::string peer_;
   std::shared_ptr<RateLimiter> peer_inbound_;  // shared capacity at the peer
+  std::string local_;
+  FaultInjector* faults_;  // nullable; owned by the Network
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> messages_sent_{0};
 };
@@ -174,19 +195,33 @@ class Network {
   void StopListening(const std::string& address);
 
   /// Establishes a connection to `address`; the same `link` models both
-  /// directions. NotFound if nothing listens there.
+  /// directions. NotFound if nothing listens there; Unavailable if the
+  /// fault injector refuses it. `local_identity` names the client side
+  /// for fault targeting (partition pairs, blackouts).
   rlscommon::Status Connect(const std::string& address, const LinkModel& link,
-                            ConnectionPtr* out);
+                            ConnectionPtr* out,
+                            const std::string& local_identity = "client");
 
   /// Caps the aggregate inbound byte rate of one listener: all senders
   /// to `address` share this capacity (0 removes the cap). Models the
   /// server's NIC / access link.
   void SetInboundCapacity(const std::string& address, double bytes_per_sec);
 
+  /// Installs a seeded fault injector on the fabric. Call before
+  /// establishing connections (existing connections keep running
+  /// fault-free). Returns the injector for scenario scripting; the
+  /// Network owns it. Idempotent: a second call returns the existing
+  /// injector and ignores the seed.
+  FaultInjector* EnableFaultInjection(uint64_t seed);
+
+  /// The installed injector, or nullptr.
+  FaultInjector* faults() { return faults_.get(); }
+
   rlscommon::Clock* clock() { return clock_; }
 
  private:
   rlscommon::Clock* clock_;
+  std::unique_ptr<FaultInjector> faults_;
   std::mutex mu_;
   std::map<std::string, AcceptHandler> listeners_;
   std::map<std::string, std::shared_ptr<RateLimiter>> inbound_limits_;

@@ -21,7 +21,7 @@ bool HashIndex::Insert(const Value& key, Rid rid) {
   auto& bucket = buckets_[BucketFor(hash)];
   if (unique_) {
     for (const Entry& e : bucket) {
-      ++stats_.probe_steps;
+      stats_.probe_steps.fetch_add(1, std::memory_order_relaxed);
       if (!e.dead && e.hash == hash && e.key == key) return false;
     }
   }
@@ -35,7 +35,7 @@ void HashIndex::Erase(const Value& key, Rid rid) {
   const uint64_t hash = key.Hash();
   auto& bucket = buckets_[BucketFor(hash)];
   for (std::size_t i = 0; i < bucket.size(); ++i) {
-    ++stats_.probe_steps;
+    stats_.probe_steps.fetch_add(1, std::memory_order_relaxed);
     Entry& e = bucket[i];
     if (e.dead || e.hash != hash || !(e.rid == rid) || !(e.key == key)) continue;
     if (mode_ == IndexDeleteMode::kErase) {
@@ -53,9 +53,10 @@ void HashIndex::Erase(const Value& key, Rid rid) {
 void HashIndex::Lookup(const Value& key, std::vector<Rid>* out) const {
   const uint64_t hash = key.Hash();
   const auto& bucket = buckets_[BucketFor(hash)];
-  ++stats_.probes;
+  stats_.probes.fetch_add(1, std::memory_order_relaxed);
+  uint64_t steps = 0;
   for (const Entry& e : bucket) {
-    ++stats_.probe_steps;
+    ++steps;
     if (e.hash != hash || !(e.key == key)) continue;
     // Tombstone mode returns dead entries too: like a PostgreSQL index,
     // visibility is only decided by fetching the heap tuple — the caller
@@ -63,17 +64,24 @@ void HashIndex::Lookup(const Value& key, std::vector<Rid>* out) const {
     // (paper Fig. 8).
     if (!e.dead || mode_ == IndexDeleteMode::kTombstone) out->push_back(e.rid);
   }
+  stats_.probe_steps.fetch_add(steps, std::memory_order_relaxed);
 }
 
 bool HashIndex::ContainsKey(const Value& key) const {
   const uint64_t hash = key.Hash();
   const auto& bucket = buckets_[BucketFor(hash)];
-  ++stats_.probes;
+  stats_.probes.fetch_add(1, std::memory_order_relaxed);
+  uint64_t steps = 0;
+  bool found = false;
   for (const Entry& e : bucket) {
-    ++stats_.probe_steps;
-    if (!e.dead && e.hash == hash && e.key == key) return true;
+    ++steps;
+    if (!e.dead && e.hash == hash && e.key == key) {
+      found = true;
+      break;
+    }
   }
-  return false;
+  stats_.probe_steps.fetch_add(steps, std::memory_order_relaxed);
+  return found;
 }
 
 void HashIndex::Clear() {

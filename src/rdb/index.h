@@ -14,9 +14,12 @@
 // t_map.updatetime so the expire thread can discard stale soft state
 // without a full scan.
 //
-// Not thread-safe: the owning Table serializes access.
+// Writes are not thread-safe (the owning engine takes an exclusive
+// statement lock); concurrent Lookup/ContainsKey calls under a shared
+// lock are safe — the probe counters they maintain are relaxed atomics.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -33,12 +36,15 @@ enum class IndexDeleteMode {
   kTombstone,  // PostgreSQL profile
 };
 
-/// Statistics used by tests and the vacuum policy.
+/// Statistics used by tests and the vacuum policy. The probe counters
+/// are updated from const read paths that run concurrently under the
+/// engine's shared statement lock, so they are relaxed atomics; the
+/// entry counters only change under the exclusive (write) lock.
 struct IndexStats {
   uint64_t live_entries = 0;
   uint64_t tombstones = 0;
-  uint64_t probes = 0;        // lookups performed
-  uint64_t probe_steps = 0;   // chain entries visited across all probes
+  std::atomic<uint64_t> probes{0};       // lookups performed
+  std::atomic<uint64_t> probe_steps{0};  // chain entries visited across all probes
 };
 
 /// Chained hash index mapping Value keys to Rids (multimap semantics —

@@ -10,6 +10,11 @@ net::ClientOptions ToRpcOptions(const ClientConfig& config) {
   net::ClientOptions options;
   options.credential = config.credential;
   options.link = config.link;
+  options.identity = config.identity;
+  options.call_timeout = config.call_timeout;
+  options.retry = config.retry;
+  options.retry_seed = config.retry_seed;
+  options.metrics = config.metrics;
   return options;
 }
 

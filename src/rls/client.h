@@ -20,6 +20,21 @@ namespace rls {
 struct ClientConfig {
   gsi::Credential credential;                      // empty = anonymous
   net::LinkModel link = net::LinkModel::Loopback();
+
+  /// Endpoint identity on the fabric (fault-injection targeting).
+  std::string identity = "client";
+
+  /// Per-call deadline; zero = wait forever.
+  std::chrono::milliseconds call_timeout{0};
+
+  /// Retry policy for UNAVAILABLE/TIMEOUT failures (default: no retry).
+  net::RetryPolicy retry;
+
+  /// Seed for retry-backoff jitter (deterministic chaos tests).
+  uint64_t retry_seed = 0x5ca1ab1e;
+
+  /// Optional client-side metrics sink (retries/timeouts/reconnects).
+  obs::Registry* metrics = nullptr;
 };
 
 /// Client for a server's LRC role — every LRC operation of Table 1.

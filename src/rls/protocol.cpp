@@ -473,11 +473,20 @@ void TargetStatus::Encode(Writer* w) const {
   w->Str(address);
   w->U64(updates_sent);
   w->F64(seconds_since_last);
+  w->U8(healthy ? 1 : 0);
+  w->U32(consecutive_failures);
+  w->U64(full_resends);
 }
 
 bool TargetStatus::Decode(Reader* r, TargetStatus* out) {
-  return r->Str(&out->address) && r->U64(&out->updates_sent) &&
-         r->F64(&out->seconds_since_last);
+  uint8_t healthy = 1;
+  if (!(r->Str(&out->address) && r->U64(&out->updates_sent) &&
+        r->F64(&out->seconds_since_last) && r->U8(&healthy) &&
+        r->U32(&out->consecutive_failures) && r->U64(&out->full_resends))) {
+    return false;
+  }
+  out->healthy = healthy != 0;
+  return true;
 }
 
 void GetStatsResponse::Encode(std::string* out) const {
@@ -520,7 +529,7 @@ Status GetStatsResponse::Decode(std::string_view data, GetStatsResponse* out) {
   }
   uint32_t target_count = 0;
   if (!r.U32(&target_count)) return TruncatedMessage("target count");
-  if (static_cast<uint64_t>(target_count) * 20 > r.remaining()) {
+  if (static_cast<uint64_t>(target_count) * 33 > r.remaining()) {
     return TruncatedMessage("target list");
   }
   out->targets.clear();

@@ -275,6 +275,9 @@ struct TargetStatus {
   std::string address;
   uint64_t updates_sent = 0;
   double seconds_since_last = -1;  // <0 = never updated
+  bool healthy = true;
+  uint32_t consecutive_failures = 0;
+  uint64_t full_resends = 0;  // recovery resends after failures
 
   void Encode(net::Writer* w) const;
   static bool Decode(net::Reader* r, TargetStatus* out);

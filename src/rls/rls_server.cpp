@@ -207,8 +207,10 @@ GetStatsResponse RlsServer::GetStatsSnapshot() const {
       last_update_trace_id_.load(std::memory_order_relaxed);
   if (update_manager_) {
     for (const TargetFreshness& f : update_manager_->TargetStatuses()) {
-      resp.targets.push_back(
-          TargetStatus{f.address, f.updates_sent, f.seconds_since_last});
+      resp.targets.push_back(TargetStatus{f.address, f.updates_sent,
+                                          f.seconds_since_last, f.healthy,
+                                          f.consecutive_failures,
+                                          f.full_resends});
     }
   }
   obs::Snapshot snapshot = registry_.TakeSnapshot();

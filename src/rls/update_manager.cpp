@@ -40,7 +40,7 @@ UpdateManager::UpdateManager(net::Network* network, LrcStore* store,
       config_(std::move(config)),
       clock_(clock) {
   for (const UpdateTarget& target : config_.targets) {
-    targets_.push_back(TargetState{target, nullptr});
+    targets_.push_back(std::make_shared<TargetState>(target));
   }
 }
 
@@ -64,6 +64,7 @@ void UpdateManager::Stop() {
 }
 
 void UpdateManager::BindMetrics(obs::Registry* registry) {
+  metrics_registry_ = registry;
   metric_full_sent_ =
       registry->GetCounter("ss_updates_sent_total", obs::Label("mode", "full"));
   metric_incremental_sent_ = registry->GetCounter(
@@ -74,24 +75,95 @@ void UpdateManager::BindMetrics(obs::Registry* registry) {
   metric_bytes_sent_ = registry->GetCounter("ss_bytes_sent_total");
   metric_bloom_bits_set_ = registry->GetGauge("ss_bloom_bits_set");
   metric_update_duration_ = registry->GetHistogram("ss_update_duration_us");
+  metric_send_failures_ = registry->GetCounter("ss_send_failures_total");
+  metric_target_unhealthy_ = registry->GetCounter("ss_target_unhealthy_total");
+  metric_target_recovered_ = registry->GetCounter("ss_target_recovered_total");
+  metric_full_resends_ = registry->GetCounter("ss_full_resends_total");
+  metric_unhealthy_targets_ = registry->GetGauge("ss_unhealthy_targets");
+}
+
+std::vector<UpdateManager::TargetPtr> UpdateManager::SnapshotTargets() const {
+  std::lock_guard<std::mutex> lock(targets_mu_);
+  return targets_;
 }
 
 std::vector<TargetFreshness> UpdateManager::TargetStatuses() const {
   const rlscommon::TimePoint now = clock_->Now();
   std::vector<TargetFreshness> out;
-  std::lock_guard<std::mutex> lock(targets_mu_);
-  out.reserve(targets_.size());
-  for (const TargetState& state : targets_) {
+  for (const TargetPtr& state : SnapshotTargets()) {
     TargetFreshness f;
-    f.address = state.target.address;
-    f.updates_sent = state.updates_sent;
-    if (state.ever_updated) {
+    f.address = state->target.address;
+    std::lock_guard<std::mutex> lock(state->mu);
+    f.updates_sent = state->updates_sent;
+    if (state->ever_updated) {
       f.seconds_since_last =
-          std::chrono::duration<double>(now - state.last_update).count();
+          std::chrono::duration<double>(now - state->last_update).count();
     }
+    f.healthy = state->healthy;
+    f.consecutive_failures = state->consecutive_failures;
+    f.full_resends = state->full_resends;
     out.push_back(std::move(f));
   }
   return out;
+}
+
+void UpdateManager::RecordSendSuccess(TargetState* state, bool complete_update) {
+  bool recovered = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    ++state->updates_sent;
+    state->last_update = clock_->Now();
+    state->ever_updated = true;
+    state->consecutive_failures = 0;
+    state->backoff = {};
+    state->backoff_until = {};
+    if (complete_update) state->needs_full_resend = false;
+    if (!state->healthy) {
+      state->healthy = true;
+      recovered = true;
+    }
+  }
+  if (recovered) {
+    RLS_INFO("update") << lrc_url_ << " target " << state->target.address
+                       << " recovered";
+    if (metric_target_recovered_) metric_target_recovered_->Increment();
+    if (metric_unhealthy_targets_) metric_unhealthy_targets_->Add(-1);
+  }
+}
+
+void UpdateManager::RecordSendFailure(TargetState* state) {
+  bool went_unhealthy = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    ++state->consecutive_failures;
+    // Whatever this send carried is lost; only a complete update can
+    // reconverge the target.
+    state->needs_full_resend = true;
+    state->backoff =
+        state->backoff.count() == 0
+            ? std::chrono::duration_cast<rlscommon::Duration>(
+                  config_.target_backoff_initial)
+            : std::min(state->backoff * 2,
+                       std::chrono::duration_cast<rlscommon::Duration>(
+                           config_.target_backoff_max));
+    state->backoff_until = clock_->Now() + state->backoff;
+    if (state->healthy &&
+        state->consecutive_failures >= config_.unhealthy_after_failures) {
+      state->healthy = false;
+      went_unhealthy = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.send_failures;
+  }
+  if (metric_send_failures_) metric_send_failures_->Increment();
+  if (went_unhealthy) {
+    RLS_WARN("update") << lrc_url_ << " target " << state->target.address
+                       << " marked unhealthy";
+    if (metric_target_unhealthy_) metric_target_unhealthy_->Increment();
+    if (metric_unhealthy_targets_) metric_unhealthy_targets_->Add(1);
+  }
 }
 
 void UpdateManager::OnMappingChange(const std::string& lfn, bool added) {
@@ -135,17 +207,28 @@ void UpdateManager::OnMappingChange(const std::string& lfn, bool added) {
 
 void UpdateManager::AddTarget(UpdateTarget target) {
   std::lock_guard<std::mutex> lock(targets_mu_);
-  for (const TargetState& state : targets_) {
-    if (state.target.address == target.address) return;
+  for (const TargetPtr& state : targets_) {
+    if (state->target.address == target.address) return;
   }
-  targets_.push_back(TargetState{std::move(target), nullptr});
+  targets_.push_back(std::make_shared<TargetState>(std::move(target)));
 }
 
 void UpdateManager::RemoveTarget(const std::string& address) {
-  std::lock_guard<std::mutex> lock(targets_mu_);
-  std::erase_if(targets_, [&](const TargetState& state) {
-    return state.target.address == address;
-  });
+  TargetPtr removed;
+  {
+    std::lock_guard<std::mutex> lock(targets_mu_);
+    for (auto it = targets_.begin(); it != targets_.end(); ++it) {
+      if ((*it)->target.address == address) {
+        removed = *it;
+        targets_.erase(it);
+        break;
+      }
+    }
+  }
+  if (removed && metric_unhealthy_targets_) {
+    std::lock_guard<std::mutex> lock(removed->mu);
+    if (!removed->healthy) metric_unhealthy_targets_->Add(-1);
+  }
 }
 
 Status UpdateManager::ClientFor(TargetState* state, net::RpcClient** out) {
@@ -153,6 +236,11 @@ Status UpdateManager::ClientFor(TargetState* state, net::RpcClient** out) {
     net::ClientOptions options;
     options.credential = config_.credential;
     options.link = state->target.link;
+    options.identity = lrc_url_;
+    options.call_timeout = config_.rpc_timeout;
+    options.retry = config_.rpc_retry;
+    options.retry_seed = config_.retry_seed;
+    options.metrics = metrics_registry_;
     Status s = net::RpcClient::Connect(network_, state->target.address, options,
                                        &state->client);
     if (!s.ok()) return s;
@@ -161,39 +249,55 @@ Status UpdateManager::ClientFor(TargetState* state, net::RpcClient** out) {
   return Status::Ok();
 }
 
+Status UpdateManager::SendCompleteUpdate(TargetState* state, bool recovery) {
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(state->send_mu);
+    switch (config_.mode) {
+      case UpdateMode::kNone:
+        return Status::InvalidArgument("LRC has no update mode configured");
+      case UpdateMode::kBloom:
+        s = SendBloom(state);
+        break;
+      case UpdateMode::kPartitioned:
+        s = SendFullUncompressed(state, state->target.patterns.empty()
+                                            ? nullptr
+                                            : &state->target.patterns);
+        break;
+      case UpdateMode::kFull:
+      case UpdateMode::kImmediate:
+        s = SendFullUncompressed(state, nullptr);
+        break;
+    }
+  }
+  if (s.ok()) {
+    RecordSendSuccess(state, /*complete_update=*/true);
+    if (recovery) {
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        ++state->full_resends;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.full_resends;
+      }
+      if (metric_full_resends_) metric_full_resends_->Increment();
+    }
+  } else {
+    RecordSendFailure(state);
+  }
+  return s;
+}
+
 Status UpdateManager::ForceFullUpdate() {
   if (config_.mode == UpdateMode::kNone) {
     return Status::InvalidArgument("LRC has no update mode configured");
   }
   rlscommon::Stopwatch watch(clock_);
   Status status = Status::Ok();
-  {
-    std::lock_guard<std::mutex> lock(targets_mu_);
-    for (TargetState& state : targets_) {
-      Status s;
-      switch (config_.mode) {
-        case UpdateMode::kNone:
-          return Status::InvalidArgument("LRC has no update mode configured");
-        case UpdateMode::kBloom:
-          s = SendBloom(&state);
-          break;
-        case UpdateMode::kPartitioned:
-          s = SendFullUncompressed(
-              &state, state.target.patterns.empty() ? nullptr : &state.target.patterns);
-          break;
-        case UpdateMode::kFull:
-        case UpdateMode::kImmediate:
-          s = SendFullUncompressed(&state, nullptr);
-          break;
-      }
-      if (s.ok()) {
-        ++state.updates_sent;
-        state.last_update = clock_->Now();
-        state.ever_updated = true;
-      } else if (status.ok()) {
-        status = s;
-      }
-    }
+  for (const TargetPtr& state : SnapshotTargets()) {
+    Status s = SendCompleteUpdate(state.get(), /*recovery=*/false);
+    if (!s.ok() && status.ok()) status = s;
   }
   if (metric_update_duration_) metric_update_duration_->Record(watch.Elapsed());
   {
@@ -241,13 +345,20 @@ Status UpdateManager::FlushImmediate() {
   }
 
   Status status = Status::Ok();
-  std::lock_guard<std::mutex> lock(targets_mu_);
-  for (TargetState& state : targets_) {
+  for (const TargetPtr& state : SnapshotTargets()) {
+    {
+      // An unhealthy or stale target is skipped — its RLI can only
+      // reconverge from the complete resend the recovery pass owes it,
+      // so spending a timeout on a doomed incremental just slows the
+      // healthy targets down.
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->healthy || state->needs_full_resend) continue;
+    }
     std::vector<std::string> target_added = added;
     std::vector<std::string> target_removed = removed;
-    if (!state.target.patterns.empty()) {
+    if (!state->target.patterns.empty()) {
       auto matches = [&](const std::string& name) {
-        for (const std::string& pattern : state.target.patterns) {
+        for (const std::string& pattern : state->target.patterns) {
           if (rlscommon::WildcardMatch(pattern, name)) return true;
         }
         return false;
@@ -256,13 +367,16 @@ Status UpdateManager::FlushImmediate() {
       std::erase_if(target_removed, [&](const std::string& n) { return !matches(n); });
       if (target_added.empty() && target_removed.empty()) continue;
     }
-    Status s = SendIncremental(&state, target_added, target_removed);
+    Status s;
+    {
+      std::lock_guard<std::mutex> lock(state->send_mu);
+      s = SendIncremental(state.get(), target_added, target_removed);
+    }
     if (s.ok()) {
-      ++state.updates_sent;
-      state.last_update = clock_->Now();
-      state.ever_updated = true;
-    } else if (status.ok()) {
-      status = s;
+      RecordSendSuccess(state.get(), /*complete_update=*/false);
+    } else {
+      RecordSendFailure(state.get());
+      if (status.ok()) status = s;
     }
   }
   return status;
@@ -438,6 +552,22 @@ UpdateStats UpdateManager::stats() const {
   return stats_;
 }
 
+void UpdateManager::RecoveryPass() {
+  const rlscommon::TimePoint now = clock_->Now();
+  for (const TargetPtr& state : SnapshotTargets()) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      const bool owed = !state->healthy || state->needs_full_resend;
+      if (!owed || now < state->backoff_until) continue;
+    }
+    Status s = SendCompleteUpdate(state.get(), /*recovery=*/true);
+    if (!s.ok()) {
+      RLS_WARN("update") << lrc_url_ << " recovery resend to "
+                         << state->target.address << " failed: " << s.ToString();
+    }
+  }
+}
+
 void UpdateManager::SchedulerLoop() {
   auto last_full = std::chrono::steady_clock::now();
   auto last_immediate = last_full;
@@ -472,6 +602,11 @@ void UpdateManager::SchedulerLoop() {
         }
       }
     }
+
+    // Targets that failed a send owe the RLI a complete resend once
+    // their backoff expires — the paper's reconvergence-after-restart
+    // behavior, with no manual intervention.
+    RecoveryPass();
   }
 }
 

@@ -67,6 +67,27 @@ struct UpdateConfig {
 
   /// Credential presented to RLIs.
   gsi::Credential credential;
+
+  // --- failure handling (soft-state through server failure, §4/§6) ---
+
+  /// Consecutive send failures before a target is marked unhealthy.
+  uint32_t unhealthy_after_failures = 3;
+
+  /// After a failed send the target's schedule backs off exponentially
+  /// between these bounds; the next (recovery) attempt waits it out.
+  std::chrono::milliseconds target_backoff_initial{100};
+  std::chrono::milliseconds target_backoff_max{2000};
+
+  /// Per-RPC deadline for update sends; zero = wait forever. Without a
+  /// deadline a blacked-out RLI would hang the update thread.
+  std::chrono::milliseconds rpc_timeout{5000};
+
+  /// Per-RPC retry policy for update sends (default: no retry — the
+  /// manager's own health/backoff layer handles persistence).
+  net::RetryPolicy rpc_retry;
+
+  /// Seed for retry-backoff jitter (deterministic chaos tests).
+  uint64_t retry_seed = 0xd1ce;
 };
 
 /// Statistics for EXPERIMENTS.md tables (Table 3 columns).
@@ -76,6 +97,8 @@ struct UpdateStats {
   uint64_t bloom_updates_sent = 0;
   uint64_t names_sent = 0;
   uint64_t bytes_sent = 0;
+  uint64_t send_failures = 0;            // failed update RPCs (any kind)
+  uint64_t full_resends = 0;             // recovery resends after failure
   double last_update_seconds = 0;        // paper: "measured from the LRC's perspective"
   double last_bloom_generate_seconds = 0;
 };
@@ -85,6 +108,9 @@ struct TargetFreshness {
   std::string address;
   uint64_t updates_sent = 0;
   double seconds_since_last = -1;  // <0 = never updated
+  bool healthy = true;
+  uint32_t consecutive_failures = 0;
+  uint64_t full_resends = 0;
 };
 
 class UpdateManager {
@@ -137,14 +163,35 @@ class UpdateManager {
 
  private:
   struct TargetState {
-    UpdateTarget target;
-    std::unique_ptr<net::RpcClient> client;
-    uint64_t updates_sent = 0;         // guarded by targets_mu_
-    rlscommon::TimePoint last_update;  // guarded by targets_mu_
-    bool ever_updated = false;         // guarded by targets_mu_
+    explicit TargetState(UpdateTarget t) : target(std::move(t)) {}
+
+    const UpdateTarget target;
+
+    /// Serializes RPCs to this target; held across sends so a slow or
+    /// failing target never blocks introspection of the others.
+    std::mutex send_mu;
+    std::unique_ptr<net::RpcClient> client;  // guarded by send_mu
+
+    /// Guards the bookkeeping below (held briefly, never across RPCs).
+    mutable std::mutex mu;
+    uint64_t updates_sent = 0;
+    rlscommon::TimePoint last_update;
+    bool ever_updated = false;
+    // Health state machine: consecutive failures trip `healthy`; every
+    // failure schedules an exponentially backed-off recovery attempt and
+    // marks the target for a full resend (a lost delta means the RLI can
+    // only reconverge from a complete update).
+    bool healthy = true;
+    uint32_t consecutive_failures = 0;
+    bool needs_full_resend = false;
+    rlscommon::TimePoint backoff_until{};
+    rlscommon::Duration backoff{};
+    uint64_t full_resends = 0;
   };
 
-  /// Lazily connects to a target.
+  using TargetPtr = std::shared_ptr<TargetState>;
+
+  /// Lazily connects to a target (caller holds state->send_mu).
   rlscommon::Status ClientFor(TargetState* state, net::RpcClient** out);
 
   rlscommon::Status SendFullUncompressed(TargetState* state,
@@ -154,6 +201,20 @@ class UpdateManager {
                                     const std::vector<std::string>& added,
                                     const std::vector<std::string>& removed);
 
+  /// One mode-appropriate complete update (full listing or whole Bloom
+  /// filter) to one target, with health bookkeeping. `recovery` marks
+  /// the send as a post-failure resend for stats/metrics.
+  rlscommon::Status SendCompleteUpdate(TargetState* state, bool recovery);
+
+  /// Snapshot of the target list (for iteration without targets_mu_).
+  std::vector<TargetPtr> SnapshotTargets() const;
+
+  void RecordSendSuccess(TargetState* state, bool complete_update);
+  void RecordSendFailure(TargetState* state);
+
+  /// Retries complete updates to targets whose backoff expired.
+  void RecoveryPass();
+
   void SchedulerLoop();
 
   net::Network* network_;
@@ -162,8 +223,8 @@ class UpdateManager {
   UpdateConfig config_;
   rlscommon::Clock* clock_;
 
-  mutable std::mutex targets_mu_;
-  std::vector<TargetState> targets_;
+  mutable std::mutex targets_mu_;  // guards the vector, not the states
+  std::vector<TargetPtr> targets_;
 
   // Pending incremental changes; +1 = added, -1 = removed, 0 = cancelled.
   std::mutex pending_mu_;
@@ -183,6 +244,7 @@ class UpdateManager {
   std::atomic<uint64_t> next_update_id_{1};
 
   // Optional instruments (owned by the bound registry); null = unbound.
+  obs::Registry* metrics_registry_ = nullptr;
   obs::Counter* metric_full_sent_ = nullptr;
   obs::Counter* metric_incremental_sent_ = nullptr;
   obs::Counter* metric_bloom_sent_ = nullptr;
@@ -190,6 +252,11 @@ class UpdateManager {
   obs::Counter* metric_bytes_sent_ = nullptr;
   obs::Gauge* metric_bloom_bits_set_ = nullptr;
   obs::Histogram* metric_update_duration_ = nullptr;
+  obs::Counter* metric_send_failures_ = nullptr;
+  obs::Counter* metric_target_unhealthy_ = nullptr;
+  obs::Counter* metric_target_recovered_ = nullptr;
+  obs::Counter* metric_full_resends_ = nullptr;
+  obs::Gauge* metric_unhealthy_targets_ = nullptr;
 
   std::mutex scheduler_mu_;
   std::condition_variable scheduler_cv_;

@@ -58,23 +58,36 @@ TEST(InboundCapacityTest, ConcurrentClientsStretchEachOther) {
                       std::string*) { return rlscommon::Status::Ok(); });
   ASSERT_TRUE(server.Start().ok());
 
-  auto timed_call = [&](double* seconds) {
-    std::unique_ptr<RpcClient> client;
-    ASSERT_TRUE(RpcClient::Connect(&network, "capped:1", ClientOptions{}, &client).ok());
+  // Connect up front: the AUTH roundtrip is slow under sanitizers, and a
+  // connect inside the timed thread can delay one call past the other's
+  // window so they never contend.
+  std::unique_ptr<RpcClient> c0, c1, c2;
+  ASSERT_TRUE(RpcClient::Connect(&network, "capped:1", ClientOptions{}, &c0).ok());
+  ASSERT_TRUE(RpcClient::Connect(&network, "capped:1", ClientOptions{}, &c1).ok());
+  ASSERT_TRUE(RpcClient::Connect(&network, "capped:1", ClientOptions{}, &c2).ok());
+
+  auto timed_call = [&](RpcClient* client, double* seconds) {
     std::string payload(100000, 'x');  // 100 KB -> 100 ms alone
     rlscommon::Stopwatch watch;
     std::string response;
-    ASSERT_TRUE(client->Call(1, payload, &response).ok());
+    EXPECT_TRUE(client->Call(1, payload, &response).ok());
     *seconds = watch.ElapsedSeconds();
   };
 
   double alone = 0;
-  timed_call(&alone);
+  timed_call(c0.get(), &alone);
   EXPECT_GE(alone, 0.09);
 
   double t1 = 0, t2 = 0;
-  std::thread a([&] { timed_call(&t1); });
-  std::thread b([&] { timed_call(&t2); });
+  std::barrier gate(2);
+  std::thread a([&] {
+    gate.arrive_and_wait();
+    timed_call(c1.get(), &t1);
+  });
+  std::thread b([&] {
+    gate.arrive_and_wait();
+    timed_call(c2.get(), &t2);
+  });
   a.join();
   b.join();
   // Together, at least one of them waits behind the other's bytes.

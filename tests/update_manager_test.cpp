@@ -54,8 +54,10 @@ TEST_F(UpdateManagerTest, UnreachableTargetReportsAndRecovers) {
   RlsServer* lrc = StartLrc(update);
   ASSERT_TRUE(lrc->lrc_store()->CreateMapping("x", "p").ok());
 
-  // RLI not up yet: the update fails cleanly...
-  EXPECT_EQ(lrc->update_manager()->ForceFullUpdate().code(), ErrorCode::kNotFound);
+  // RLI not up yet: the update fails cleanly with the retryable
+  // transport code (the server may come up later).
+  EXPECT_EQ(lrc->update_manager()->ForceFullUpdate().code(),
+            ErrorCode::kUnavailable);
 
   // ...and succeeds once the RLI appears (lazy reconnect).
   RlsServer* rli = StartRli("um-rli:late");
