@@ -105,12 +105,14 @@ void Testbed::WriteServerSnapshots() {
     std::snprintf(extra, sizeof(extra),
                   "\"server\": \"%s\", \"role\": \"%s\", \"uptime_seconds\": %.3f, "
                   "\"lfn_count\": %llu, \"mapping_count\": %llu, "
-                  "\"requests_served\": %llu, \"updates_received\": %llu, "
+                  "\"requests_served\": %llu, \"requests_shed\": %llu, "
+                  "\"updates_received\": %llu, "
                   "\"updates_sent\": %llu, \"bloom_filters\": %llu",
                   server->url().c_str(), snap.role.c_str(), snap.uptime_seconds,
                   static_cast<unsigned long long>(snap.vitals.lfn_count),
                   static_cast<unsigned long long>(snap.vitals.mapping_count),
                   static_cast<unsigned long long>(snap.vitals.requests_served),
+                  static_cast<unsigned long long>(snap.vitals.requests_shed),
                   static_cast<unsigned long long>(snap.vitals.updates_received),
                   static_cast<unsigned long long>(snap.vitals.updates_sent),
                   static_cast<unsigned long long>(snap.vitals.bloom_filters));
@@ -122,10 +124,12 @@ void Testbed::WriteServerSnapshots() {
 
 rls::RlsServer* Testbed::StartLrc(const std::string& address,
                                   rdb::BackendProfile profile,
-                                  rls::UpdateConfig update) {
+                                  rls::UpdateConfig update,
+                                  rls::ServerLimits limits) {
   rls::RlsServerConfig config;
   config.address = address;
   config.url = address;
+  config.limits = limits;
   config.lrc.enabled = true;
   config.lrc.dsn = std::string(profile.kind == rdb::BackendKind::kPostgreSQL
                                    ? "postgresql://bench"

@@ -70,10 +70,12 @@ class Testbed {
 
   /// Starts an LRC server. `profile` selects the back-end behaviour
   /// (the paper's MySQL/PostgreSQL choice); WAL is file-backed under
-  /// /tmp so durable flushes hit a real file.
+  /// /tmp so durable flushes hit a real file. `limits` enables overload
+  /// protection (default: disabled, the paper's unprotected server).
   rls::RlsServer* StartLrc(const std::string& address,
                            rdb::BackendProfile profile = rdb::BackendProfile::MySQL(),
-                           rls::UpdateConfig update = {});
+                           rls::UpdateConfig update = {},
+                           rls::ServerLimits limits = {});
 
   /// Starts an RLI server. Empty `dsn_profile` = Bloom-only (no DB).
   rls::RlsServer* StartRli(const std::string& address, bool with_database = true,

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Bench trajectory gate: compare a bench JSONL snapshot to a pinned baseline.
+
+Each input is the RLS_BENCH_JSON output of a bench binary — one JSON
+object per line, one line per server, carrying vitals plus every obs
+registry instrument. The gate protects the perf trajectory:
+
+  * structural counters (lfn_count, mapping_count) must match exactly —
+    a drift means the bench is measuring a different workload;
+  * hot-path latency histograms (--metrics, default the per-family RLS
+    service times and the RPC request latency) must not slip: current
+    mean > baseline mean * (1 + tolerance) on any matched series fails.
+    Getting faster never fails the gate.
+
+Usage:
+  bench_compare.py BASELINE CURRENT [--tolerance 0.15] [--min-count 100]
+"""
+
+import argparse
+import json
+import sys
+
+HOT_PATH_METRICS = (
+    "rls_family_latency_us",
+    "rpc_request_latency_us",
+)
+
+STRUCTURAL_KEYS = ("lfn_count", "mapping_count")
+
+
+def load(path):
+    servers = {}
+    with open(path) as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{line_no}: malformed JSON line: {e}")
+            key = obj.get("server", f"line{line_no}")
+            servers[key] = obj
+    return servers
+
+
+def metric_key(metric):
+    return (metric.get("name", ""), metric.get("labels", ""))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional latency slippage (default 0.15)")
+    parser.add_argument("--min-count", type=int, default=100,
+                        help="ignore histogram series with fewer samples")
+    parser.add_argument("--metrics", nargs="*", default=list(HOT_PATH_METRICS),
+                        help="histogram metric names to gate on")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    compared = 0
+    for server, base_obj in sorted(baseline.items()):
+        cur_obj = current.get(server)
+        if cur_obj is None:
+            failures.append(f"{server}: missing from current run")
+            continue
+        for key in STRUCTURAL_KEYS:
+            if base_obj.get(key) != cur_obj.get(key):
+                failures.append(
+                    f"{server}: {key} changed "
+                    f"{base_obj.get(key)} -> {cur_obj.get(key)} "
+                    f"(bench no longer measures the same workload)")
+        cur_metrics = {metric_key(m): m for m in cur_obj.get("metrics", [])}
+        for base_metric in base_obj.get("metrics", []):
+            name = base_metric.get("name", "")
+            if name not in args.metrics or "mean_us" not in base_metric:
+                continue
+            if base_metric.get("count", 0) < args.min_count:
+                continue
+            cur_metric = cur_metrics.get(metric_key(base_metric))
+            if cur_metric is None:
+                failures.append(
+                    f"{server}: {name}{{{base_metric.get('labels', '')}}} "
+                    f"missing from current run")
+                continue
+            base_mean = float(base_metric["mean_us"])
+            cur_mean = float(cur_metric.get("mean_us", 0))
+            compared += 1
+            if base_mean > 0 and cur_mean > base_mean * (1 + args.tolerance):
+                failures.append(
+                    f"{server}: {name}{{{base_metric.get('labels', '')}}} "
+                    f"slipped {base_mean:.1f}us -> {cur_mean:.1f}us "
+                    f"(+{100 * (cur_mean / base_mean - 1):.1f}%, "
+                    f"allowed +{100 * args.tolerance:.0f}%)")
+
+    if failures:
+        print(f"bench gate: {len(failures)} failure(s) "
+              f"({compared} series compared):", file=sys.stderr)
+        for failure in failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"bench gate: OK ({compared} hot-path series within "
+          f"+{100 * args.tolerance:.0f}% of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,11 +3,48 @@
 # under ASan+UBSan, so races like the old HashIndex probe-counter one
 # can't land silently.
 #
-# Usage: scripts/check.sh [plain|thread|address,undefined]...
-#   (no arguments = all three configurations)
+# Usage: scripts/check.sh [plain|thread|address,undefined|bench]...
+#   (no arguments = the three sanitizer configurations)
+#
+# The extra opt-in `bench` config is the perf-trajectory gate: it runs
+# the fig04/fig06 hot-path benches under a pinned environment and
+# compares their JSONL snapshots against the baselines pinned in
+# bench/baselines/ (scripts/bench_compare.py; >15% hot-path latency
+# slippage fails). It is opt-in rather than default because absolute
+# latencies only compare meaningfully on the machine that produced the
+# baselines. Refresh baselines after an intentional perf change with:
+#   scripts/check.sh bench-rebaseline
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# Pinned bench-gate environment: small scale + one trial keeps the gate
+# fast; any change here invalidates the pinned baselines.
+BENCH_GATE_ENV=(RLS_BENCH_SCALE=0.02 RLS_BENCH_TRIALS=1 RLS_FLUSH_PENALTY_US=8000)
+BENCH_GATE_BENCHES=(bench_fig04_lrc_add_flush bench_fig06_lrc_ops_multiclient)
+
+run_bench_gate() {  # $1 = output mode: "compare" or "rebaseline"
+  local dir=build-check
+  echo "=== [bench] configure + build ($dir)"
+  cmake -B "$dir" -S . -DRLS_SANITIZE= >/dev/null
+  cmake --build "$dir" -j --target "${BENCH_GATE_BENCHES[@]}"
+  mkdir -p bench/baselines
+  local bench fig json
+  for bench in "${BENCH_GATE_BENCHES[@]}"; do
+    fig=$(echo "$bench" | sed -E 's/^bench_(fig[0-9]+).*/\1/')
+    json="$dir/BENCH_${fig}.json"
+    rm -f "$json"
+    echo "=== [bench] $bench"
+    env "${BENCH_GATE_ENV[@]}" RLS_BENCH_JSON="$json" "$dir/bench/$bench" >/dev/null
+    if [ "$1" = rebaseline ]; then
+      cp "$json" "bench/baselines/BENCH_${fig}.json"
+      echo "=== [bench] pinned bench/baselines/BENCH_${fig}.json"
+    else
+      python3 scripts/bench_compare.py "bench/baselines/BENCH_${fig}.json" \
+        "$json" --tolerance 0.15
+    fi
+  done
+}
 
 configs=("$@")
 if [ ${#configs[@]} -eq 0 ]; then
@@ -28,8 +65,16 @@ for config in "${configs[@]}"; do
       dir=build-check-asan
       flags=(-DRLS_SANITIZE=address,undefined)
       ;;
+    bench)
+      run_bench_gate compare
+      continue
+      ;;
+    bench-rebaseline)
+      run_bench_gate rebaseline
+      continue
+      ;;
     *)
-      echo "unknown config '$config' (want plain, thread or address,undefined)" >&2
+      echo "unknown config '$config' (want plain, thread, address,undefined or bench)" >&2
       exit 2
       ;;
   esac
@@ -41,4 +86,4 @@ for config in "${configs[@]}"; do
   ctest --test-dir "$dir" --output-on-failure -j"$(nproc)"
 done
 
-echo "=== all sanitizer configurations passed"
+echo "=== all configurations passed"

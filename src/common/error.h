@@ -6,6 +6,8 @@
 // for programming errors and unrecoverable conditions.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -68,6 +70,19 @@ class [[nodiscard]] Status {
   ErrorCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Attaches a retry-after hint to a retryable status. An overloaded
+  /// server sheds with UNAVAILABLE plus this hint; the client's retry
+  /// policy backs off at least that long before the next attempt.
+  Status& WithRetryAfter(std::chrono::milliseconds hint) {
+    retry_after_ms_ = hint.count() > 0 ? static_cast<uint32_t>(hint.count()) : 0;
+    return *this;
+  }
+
+  /// Server-suggested minimum backoff; zero = no hint.
+  std::chrono::milliseconds retry_after() const {
+    return std::chrono::milliseconds(retry_after_ms_);
+  }
+
   /// "OK" or "NOT_FOUND: lfn does not exist".
   std::string ToString() const;
 
@@ -76,6 +91,7 @@ class [[nodiscard]] Status {
  private:
   ErrorCode code_;
   std::string message_;
+  uint32_t retry_after_ms_ = 0;
 };
 
 /// Exception thrown for unrecoverable failures (and by the convenience

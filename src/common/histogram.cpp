@@ -50,6 +50,7 @@ LatencyHistogram::Snapshot LatencyHistogram::GetSnapshot() const {
   snap.p50_us = quantile(0.50);
   snap.p95_us = quantile(0.95);
   snap.p99_us = quantile(0.99);
+  snap.p999_us = quantile(0.999);
   for (std::size_t b = kBuckets; b-- > 0;) {
     if (counts[b] > 0) {
       snap.max_us = BucketUpperEdge(b);
@@ -64,11 +65,12 @@ std::string LatencyHistogram::ToString() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "count=%llu mean=%.0fus p50=%llu"
-                "us p95=%lluus p99=%lluus max=%lluus",
+                "us p95=%lluus p99=%lluus p999=%lluus max=%lluus",
                 static_cast<unsigned long long>(s.count), s.mean_us,
                 static_cast<unsigned long long>(s.p50_us),
                 static_cast<unsigned long long>(s.p95_us),
                 static_cast<unsigned long long>(s.p99_us),
+                static_cast<unsigned long long>(s.p999_us),
                 static_cast<unsigned long long>(s.max_us));
   return buf;
 }

@@ -32,14 +32,15 @@ class LatencyHistogram {
     uint64_t p50_us = 0;
     uint64_t p95_us = 0;
     uint64_t p99_us = 0;
-    uint64_t max_us = 0;  // upper edge of the highest non-empty bucket
+    uint64_t p999_us = 0;  // tail quantile — where overload shows first
+    uint64_t max_us = 0;   // upper edge of the highest non-empty bucket
   };
 
   /// Consistent-enough snapshot for monitoring (buckets are read without
   /// a global lock; concurrent updates may skew counts by a few samples).
   Snapshot GetSnapshot() const;
 
-  /// "count=42 mean=130us p50=128us p95=512us p99=1024us".
+  /// "count=42 mean=130us p50=128us p95=512us p99=1024us p999=2048us".
   std::string ToString() const;
 
   void Reset();

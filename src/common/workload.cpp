@@ -1,5 +1,7 @@
 #include "common/workload.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace rlscommon {
@@ -62,6 +64,94 @@ Op OpStream::Next() {
   uint64_t idx = scratch_cursor_ > 0 ? universe_ + ((scratch_cursor_ - 1) % universe_)
                                      : universe_;
   return {OpKind::kDelete, idx};
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double exponent, uint64_t seed)
+    : rng_(seed) {
+  if (n == 0) n = 1;
+  cdf_.reserve(n);
+  double total = 0;
+  for (uint64_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<uint64_t>(it - cdf_.begin());
+}
+
+StormStream::StormStream(const StormConfig& config, uint64_t client_id)
+    : config_(config),
+      client_id_(client_id),
+      // Each client gets its own Zipf stream over the shared universe
+      // (same popularity law, different draw order) and its own op RNG.
+      zipf_(config.universe, config.zipf_exponent,
+            config.seed * 0x9e3779b97f4a7c15ULL + client_id),
+      rng_(config.seed + client_id * 0x2545f4914f6cdd1dULL) {
+  if (config_.universe == 0) config_.universe = 1;
+  if (config_.burst_length == 0) config_.burst_length = 1;
+}
+
+StormAction StormStream::Next() {
+  StormAction action;
+  if (burst_remaining_ > 0) {
+    // Drain the burst: adds first, then deletes of the same indices.
+    const uint32_t step = burst_adds_ * 2 - burst_remaining_;
+    const bool adding = step < burst_adds_;
+    const uint64_t index =
+        burst_base_ + (adding ? step : step - burst_adds_);
+    --burst_remaining_;
+    action.op = {adding ? OpKind::kAdd : OpKind::kDelete, index};
+    action.in_burst = true;
+    return action;
+  }
+  action.reconnect =
+      config_.churn_probability > 0 && rng_.NextDouble() < config_.churn_probability;
+  if (config_.burst_probability > 0 &&
+      rng_.NextDouble() < config_.burst_probability) {
+    // Start a burst over the next slice of this client's scratch range.
+    // Client ranges are disjoint (width universe + burst_length, so a
+    // burst starting at the top of the cursor cycle stays inside), so
+    // concurrent storm clients never write the same scratch index.
+    burst_adds_ = config_.burst_length;
+    burst_base_ = ScratchBase() + (scratch_cursor_ % config_.universe);
+    scratch_cursor_ += burst_adds_;
+    burst_remaining_ = burst_adds_ * 2;
+    const uint64_t index = burst_base_;
+    --burst_remaining_;
+    action.op = {OpKind::kAdd, index};
+    action.in_burst = true;
+    return action;
+  }
+  const double roll = rng_.NextDouble();
+  if (roll < config_.query_fraction ||
+      config_.query_fraction + config_.add_fraction <= 0) {
+    action.op = {OpKind::kQuery, zipf_.Next()};
+    return action;
+  }
+  // Non-burst background writes use the same disjoint scratch range.
+  const uint64_t scratch = ScratchBase() + (scratch_cursor_ % config_.universe);
+  if (roll < config_.query_fraction + config_.add_fraction) {
+    ++scratch_cursor_;
+    action.op = {OpKind::kAdd, scratch};
+  } else {
+    const uint64_t prev =
+        scratch_cursor_ > 0
+            ? ScratchBase() + ((scratch_cursor_ - 1) % config_.universe)
+            : scratch;
+    action.op = {OpKind::kDelete, prev};
+  }
+  return action;
+}
+
+uint64_t StormStream::ScratchBase() const {
+  return config_.universe +
+         client_id_ * (config_.universe + config_.burst_length);
 }
 
 }  // namespace rlscommon

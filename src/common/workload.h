@@ -74,4 +74,73 @@ class OpStream {
   uint64_t scratch_cursor_ = 0;
 };
 
+/// Zipf-distributed index sampler over [0, n): rank r is drawn with
+/// probability proportional to 1/(r+1)^exponent. Real replica catalogs
+/// are sharply skewed (a few hot datasets absorb most queries — the LIGO
+/// and ESG deployments of §6), which is exactly the shape that defeats
+/// per-entry caching and drives overload hot spots. Sampling inverts a
+/// precomputed CDF by binary search: O(log n) per draw, deterministic
+/// for a given seed.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double exponent, uint64_t seed);
+
+  /// Next sampled index in [0, n).
+  uint64_t Next();
+
+ private:
+  std::vector<double> cdf_;
+  Xoshiro256 rng_;
+};
+
+/// Parameters of an overload storm: a fleet of misbehaving clients
+/// hammering a server far past capacity while the catalog churns.
+struct StormConfig {
+  uint64_t universe = 1000;       // preloaded LFN index space
+  double zipf_exponent = 0.99;    // query-popularity skew
+  double query_fraction = 0.70;   // of non-burst ops
+  double add_fraction = 0.15;     // remainder deletes
+  double burst_probability = 0.02;  // chance a step starts an add burst
+  uint32_t burst_length = 32;     // ops per add/delete burst
+  double churn_probability = 0.0; // chance a step asks to reconnect
+  uint64_t seed = 42;
+};
+
+/// One step of a storm client: the operation to issue, whether the
+/// client should drop and re-establish its connection first (churn),
+/// and whether the op belongs to a burst (metrics/debugging).
+struct StormAction {
+  Op op;
+  bool reconnect = false;
+  bool in_burst = false;
+};
+
+/// Deterministic per-client storm stream. Queries follow the Zipf
+/// popularity law; add/delete bursts write a scratch range above the
+/// universe and then delete it, so catalog size stays stable across the
+/// storm (the paper's add-then-delete methodology, in burst form).
+/// Distinct `client_id`s derive distinct streams from one config.
+class StormStream {
+ public:
+  StormStream(const StormConfig& config, uint64_t client_id);
+
+  StormAction Next();
+
+ private:
+  /// Start of this client's scratch index range, above the universe and
+  /// disjoint from every other client's.
+  uint64_t ScratchBase() const;
+
+  StormConfig config_;
+  uint64_t client_id_;
+  ZipfGenerator zipf_;
+  Xoshiro256 rng_;
+  uint64_t scratch_cursor_ = 0;
+  // Remaining ops of the burst in progress: first half adds, second
+  // half deletes the same indices.
+  uint32_t burst_remaining_ = 0;
+  uint32_t burst_adds_ = 0;
+  uint64_t burst_base_ = 0;
+};
+
 }  // namespace rlscommon

@@ -16,6 +16,7 @@ void EncodeError(const Status& status, std::string* payload) {
   Writer w(payload);
   w.U8(static_cast<uint8_t>(status.code()));
   w.Str(status.message());
+  w.U32(static_cast<uint32_t>(status.retry_after().count()));
 }
 
 Status DecodeError(std::string_view payload) {
@@ -25,7 +26,13 @@ Status DecodeError(std::string_view payload) {
   if (!r.U8(&code) || !r.Str(&message)) {
     return Status::Protocol("malformed error response");
   }
-  return Status(static_cast<ErrorCode>(code), std::move(message));
+  Status status(static_cast<ErrorCode>(code), std::move(message));
+  // Optional trailer: the server's retry-after hint (overload sheds).
+  uint32_t retry_after_ms = 0;
+  if (r.U32(&retry_after_ms) && retry_after_ms > 0) {
+    status.WithRetryAfter(std::chrono::milliseconds(retry_after_ms));
+  }
+  return status;
 }
 
 RpcServer::RpcServer(Network* network, std::string address, ServerOptions options,
@@ -42,6 +49,27 @@ Status RpcServer::Start() {
     options_.metrics->RegisterCallback(
         "rpc_active_connections", "",
         [this] { return static_cast<double>(active_connections()); });
+    shed_queue_full_ = options_.metrics->GetCounter(
+        "rpc_shed_total", obs::Label("reason", "queue_full"));
+    if (options_.workers > 0) {
+      options_.metrics->RegisterCallback(
+          "rpc_queue_depth", obs::Label("lane", "normal"), [this] {
+            std::lock_guard<std::mutex> lock(queue_mu_);
+            return static_cast<double>(normal_queue_.size());
+          });
+      options_.metrics->RegisterCallback(
+          "rpc_queue_depth", obs::Label("lane", "priority"), [this] {
+            std::lock_guard<std::mutex> lock(queue_mu_);
+            return static_cast<double>(priority_queue_.size());
+          });
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = false;
+  }
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
   }
   Status s = network_->Listen(address_, [this](ConnectionPtr conn) {
     std::shared_ptr<Connection> shared(conn.release());
@@ -61,6 +89,12 @@ void RpcServer::Stop() {
   if (!started_) return;
   if (options_.metrics) {
     options_.metrics->UnregisterCallback("rpc_active_connections", "");
+    if (options_.workers > 0) {
+      options_.metrics->UnregisterCallback("rpc_queue_depth",
+                                           obs::Label("lane", "normal"));
+      options_.metrics->UnregisterCallback("rpc_queue_depth",
+                                           obs::Label("lane", "priority"));
+    }
   }
   stopping_.store(true);
   network_->StopListening(address_);
@@ -74,6 +108,15 @@ void RpcServer::Stop() {
     threads.swap(threads_);
   }
   for (std::thread& t : threads) t.join();
+  // Connection threads are gone, so no more enqueues: close the run
+  // queue, let workers drain what was already admitted, then join them.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
   {
     std::lock_guard<std::mutex> lock(mu_);
     connections_.clear();
@@ -115,19 +158,89 @@ const RpcServer::OpMetrics* RpcServer::MetricsFor(uint16_t opcode) {
   return raw;
 }
 
+void RpcServer::ExecuteRequest(const std::shared_ptr<Connection>& conn,
+                               const gsi::AuthContext& context, Message msg) {
+  Message reply;
+  reply.request_id = msg.request_id;
+  reply.opcode = msg.opcode;
+  reply.flags = Message::kFlagResponse;
+  reply.trace_id = msg.trace_id;
+  reply.span_id = msg.span_id;
+
+  const OpMetrics* metrics = MetricsFor(msg.opcode);
+  // Make the caller's trace ambient for the handler (and anything it
+  // triggers on this thread, e.g. synchronous soft-state sends).
+  obs::ScopedTrace trace(obs::TraceContext{msg.trace_id, msg.span_id});
+  rlscommon::Stopwatch timer;
+  Status status = handler_(context, msg.opcode, msg.payload, &reply.payload);
+  if (metrics) {
+    metrics->requests->Increment();
+    metrics->latency->Record(timer.Elapsed());
+    if (!status.ok()) metrics->errors->Increment();
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!status.ok()) {
+    reply.flags |= Message::kFlagError;
+    reply.payload.clear();
+    EncodeError(status, &reply.payload);
+  }
+  conn->Send(std::move(reply));
+}
+
+Status RpcServer::Enqueue(Pending pending, bool priority) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_closed_) {
+      return Status::Unavailable("server shutting down");
+    }
+    std::deque<Pending>& lane = priority ? priority_queue_ : normal_queue_;
+    const std::size_t bound =
+        priority ? options_.priority_queue_depth : options_.queue_depth;
+    if (bound > 0 && lane.size() >= bound) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      if (shed_queue_full_) shed_queue_full_->Increment();
+      return Status::Unavailable("server overloaded: request queue full")
+          .WithRetryAfter(options_.shed_retry_after);
+    }
+    lane.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return Status::Ok();
+}
+
+void RpcServer::WorkerLoop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return queue_closed_ || !priority_queue_.empty() ||
+               !normal_queue_.empty();
+      });
+      // Priority lane first: under storm load the normal lane is long
+      // (or shedding) while soft-state/admin work must keep flowing.
+      if (!priority_queue_.empty()) {
+        pending = std::move(priority_queue_.front());
+        priority_queue_.pop_front();
+      } else if (!normal_queue_.empty()) {
+        pending = std::move(normal_queue_.front());
+        normal_queue_.pop_front();
+      } else {
+        return;  // closed and drained
+      }
+    }
+    ExecuteRequest(pending.conn, pending.context, std::move(pending.msg));
+  }
+}
+
 void RpcServer::ServeConnection(std::shared_ptr<Connection> conn) {
   gsi::AuthContext context;
   bool authenticated = false;
+  const bool pooled = options_.workers > 0;
   Message msg;
   while (conn->Recv(&msg).ok()) {
-    Message reply;
-    reply.request_id = msg.request_id;
-    reply.opcode = msg.opcode;
-    reply.flags = Message::kFlagResponse;
-    reply.trace_id = msg.trace_id;
-    reply.span_id = msg.span_id;
-
     Status status;
+    bool priority = false;
     if (msg.opcode == kOpcodeAuth) {
       gsi::Credential cred{msg.payload};
       status = options_.auth.Authenticate(cred, &context);
@@ -135,23 +248,33 @@ void RpcServer::ServeConnection(std::shared_ptr<Connection> conn) {
     } else if (!authenticated) {
       status = Status::Unauthenticated("handshake required before requests");
     } else {
-      const OpMetrics* metrics = MetricsFor(msg.opcode);
-      // Make the caller's trace ambient for the handler (and anything it
-      // triggers on this thread, e.g. synchronous soft-state sends).
-      obs::ScopedTrace trace(
-          obs::TraceContext{msg.trace_id, msg.span_id});
-      rlscommon::Stopwatch timer;
-      status = handler_(context, msg.opcode, msg.payload, &reply.payload);
-      if (metrics) {
-        metrics->requests->Increment();
-        metrics->latency->Record(timer.Elapsed());
-        if (!status.ok()) metrics->errors->Increment();
+      if (options_.admission) {
+        AdmitDecision decision =
+            options_.admission(context, msg.opcode, msg.payload);
+        status = std::move(decision.status);
+        priority = decision.priority;
       }
-      requests_.fetch_add(1, std::memory_order_relaxed);
+      if (status.ok()) {
+        if (pooled) {
+          // Hand off to the worker pool; the reply (including a
+          // queue-full shed) is produced there or right below.
+          status = Enqueue(Pending{conn, context, msg}, priority);
+          if (status.ok()) continue;
+        } else {
+          ExecuteRequest(conn, context, std::move(msg));
+          continue;
+        }
+      }
     }
+    // Only handshake results and rejections reach here.
+    Message reply;
+    reply.request_id = msg.request_id;
+    reply.opcode = msg.opcode;
+    reply.flags = Message::kFlagResponse;
+    reply.trace_id = msg.trace_id;
+    reply.span_id = msg.span_id;
     if (!status.ok()) {
       reply.flags |= Message::kFlagError;
-      reply.payload.clear();
       EncodeError(status, &reply.payload);
     }
     if (!conn->Send(std::move(reply)).ok()) break;
@@ -296,7 +419,12 @@ Status RpcClient::Call(uint16_t opcode, const std::string& request,
     if (options_.metrics) {
       options_.metrics->GetCounter("rpc_client_retries_total")->Increment();
     }
-    const rlscommon::Duration backoff = NextBackoff(attempt);
+    // Honor a server-provided retry-after hint (load shedding): never
+    // come back sooner than the server asked, whatever the local policy.
+    rlscommon::Duration backoff = NextBackoff(attempt);
+    const rlscommon::Duration hinted =
+        std::chrono::duration_cast<rlscommon::Duration>(s.retry_after());
+    if (hinted > backoff) backoff = hinted;
     if (backoff > rlscommon::Duration::zero()) {
       rlscommon::SystemClock::Instance()->SleepFor(backoff);
     }

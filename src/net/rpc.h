@@ -4,6 +4,11 @@
 // server authenticates each connection (GSI), then services framed
 // request/response messages. One server thread per connection, matching
 // the thread-management overhead the paper attributes to its server.
+// With ServerOptions::workers > 0 the connection threads only receive,
+// authenticate and admit; execution moves to a shared worker pool fed by
+// a bounded two-lane run queue, giving the server a well-defined
+// overload surface (admit / shed / prioritize) instead of unbounded
+// per-connection concurrency.
 //
 // Wire protocol: the first message on a connection must be an AUTH
 // request carrying the client's DN (empty = anonymous). Subsequent
@@ -14,6 +19,8 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -44,6 +51,21 @@ using RpcHandler = std::function<rlscommon::Status(
     const gsi::AuthContext&, uint16_t opcode, const std::string& request,
     std::string* response)>;
 
+/// Verdict of an admission check, made after authentication and before
+/// the request is enqueued for execution. A non-OK status is returned to
+/// the client immediately (the handler never sees the request);
+/// `priority` routes admitted work to the protected lane that overload
+/// cannot starve (soft-state updates, admin ops, stats probes).
+struct AdmitDecision {
+  rlscommon::Status status;
+  bool priority = false;
+};
+
+/// Policy hook deciding admission per request. Runs on the connection
+/// thread; must be cheap and thread-safe.
+using AdmissionHook = std::function<AdmitDecision(
+    const gsi::AuthContext&, uint16_t opcode, const std::string& request)>;
+
 struct ServerOptions {
   std::string name = "rls-server";
   gsi::AuthManager auth = gsi::AuthManager::Open();
@@ -57,6 +79,27 @@ struct ServerOptions {
   /// Renders an opcode as the `method` label value (e.g. rls::OpName).
   /// Unset = the decimal opcode.
   std::function<std::string(uint16_t)> opcode_name;
+
+  /// Admission policy; unset = admit everything on the normal lane.
+  AdmissionHook admission;
+
+  /// Worker threads executing admitted requests. 0 (default) keeps the
+  /// legacy thread-per-connection execution: handlers run inline on the
+  /// connection thread and the run queue below is unused (admission
+  /// still applies).
+  int workers = 0;
+
+  /// Normal-lane run-queue bound (requests waiting for a worker).
+  /// A full lane sheds with UNAVAILABLE + retry-after instead of
+  /// queueing unbounded latency. 0 = unbounded.
+  std::size_t queue_depth = 0;
+
+  /// Priority-lane bound; sized separately (and generously) so admin
+  /// and soft-state traffic survives a client storm. 0 = unbounded.
+  std::size_t priority_queue_depth = 0;
+
+  /// Retry-after hint attached to queue-full sheds.
+  std::chrono::milliseconds shed_retry_after{50};
 };
 
 class RpcServer {
@@ -76,6 +119,9 @@ class RpcServer {
 
   const std::string& address() const { return address_; }
   uint64_t requests_served() const { return requests_.load(std::memory_order_relaxed); }
+  /// Requests rejected at the run queue (queue-full sheds). Rejections
+  /// made by the admission hook itself are counted by its owner.
+  uint64_t requests_shed() const { return shed_.load(std::memory_order_relaxed); }
   std::size_t active_connections() const;
 
  private:
@@ -88,16 +134,46 @@ class RpcServer {
   };
   static constexpr std::size_t kOpcodeCacheSize = 256;
 
+  /// One admitted request parked in the run queue. The auth context is
+  /// copied at admission: the connection thread may re-authenticate
+  /// mid-stream, and workers must not read a mutating context.
+  struct Pending {
+    std::shared_ptr<Connection> conn;
+    gsi::AuthContext context;
+    Message msg;
+  };
+
   void ServeConnection(std::shared_ptr<Connection> conn);
   const OpMetrics* MetricsFor(uint16_t opcode);
+
+  /// Runs the handler for one admitted request and sends the reply.
+  void ExecuteRequest(const std::shared_ptr<Connection>& conn,
+                      const gsi::AuthContext& context, Message msg);
+
+  /// Parks an admitted request on the chosen lane; UNAVAILABLE +
+  /// retry-after if that lane is full.
+  rlscommon::Status Enqueue(Pending pending, bool priority);
+  void WorkerLoop();
 
   Network* network_;
   std::string address_;
   ServerOptions options_;
   RpcHandler handler_;
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> shed_{0};
   std::atomic<bool> stopping_{false};
   bool started_ = false;
+
+  // Two-lane bounded run queue feeding the worker pool. Workers drain
+  // the priority lane first, so soft-state/admin traffic keeps flowing
+  // while the normal lane sheds under storm load.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> normal_queue_;
+  std::deque<Pending> priority_queue_;
+  bool queue_closed_ = false;
+  std::vector<std::thread> workers_;
+  obs::Counter* shed_queue_full_ = nullptr;
 
   // Cache slots are created lazily and retired only at destruction.
   std::array<std::atomic<OpMetrics*>, kOpcodeCacheSize> op_metrics_{};

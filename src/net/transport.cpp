@@ -14,6 +14,22 @@ bool MessageQueue::Push(Message msg) {
   return true;
 }
 
+MessageQueue::PushResult MessageQueue::TryPush(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (max_depth_ > 0 && queue_.size() >= max_depth_) return PushResult::kFull;
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+  return PushResult::kOk;
+}
+
+std::size_t MessageQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 Status MessageQueue::Pop(Message* out) {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });

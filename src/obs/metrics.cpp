@@ -124,6 +124,7 @@ std::string Registry::RenderPrometheus() const {
         out += Series(s.name + "_p50", s.labels) + " " + std::to_string(h.p50_us) + "\n";
         out += Series(s.name + "_p95", s.labels) + " " + std::to_string(h.p95_us) + "\n";
         out += Series(s.name + "_p99", s.labels) + " " + std::to_string(h.p99_us) + "\n";
+        out += Series(s.name + "_p999", s.labels) + " " + std::to_string(h.p999_us) + "\n";
         out += Series(s.name + "_max", s.labels) + " " + std::to_string(h.max_us) + "\n";
         break;
       }
@@ -158,9 +159,9 @@ std::string Registry::RenderJson(const std::string& extra) const {
       std::snprintf(buf, sizeof(buf),
                     ", \"count\": %" PRIu64 ", \"mean_us\": %g, \"p50_us\": %" PRIu64
                     ", \"p95_us\": %" PRIu64 ", \"p99_us\": %" PRIu64
-                    ", \"max_us\": %" PRIu64 "}",
+                    ", \"p999_us\": %" PRIu64 ", \"max_us\": %" PRIu64 "}",
                     s.hist.count, s.hist.mean_us, s.hist.p50_us, s.hist.p95_us,
-                    s.hist.p99_us, s.hist.max_us);
+                    s.hist.p99_us, s.hist.p999_us, s.hist.max_us);
       out += buf;
     } else {
       out += ", \"value\": " + FormatValue(s.value) + "}";

@@ -11,7 +11,8 @@
 
 namespace rdb {
 
-Wal::Wal(std::string path) : path_(std::move(path)) {
+Wal::Wal(std::string path, uint64_t recycle_bytes)
+    : path_(std::move(path)), recycle_bytes_(recycle_bytes) {
   if (path_.empty()) return;
   fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
   if (fd_ < 0) {
@@ -34,7 +35,7 @@ rlscommon::Status Wal::Commit(std::string_view payload, bool durable,
 
   std::lock_guard<std::mutex> lock(commit_mu_);
   if (fd_ >= 0 && !payload.empty()) {
-    if (file_bytes_ > kRecycleBytes) {
+    if (file_bytes_ > recycle_bytes_) {
       if (::lseek(fd_, 0, SEEK_SET) == 0) file_bytes_ = 0;
     }
     const char* p = payload.data();
@@ -57,6 +58,11 @@ rlscommon::Status Wal::Commit(std::string_view payload, bool durable,
     if (penalty.count() > 0) std::this_thread::sleep_for(penalty);
   }
   return rlscommon::Status::Ok();
+}
+
+uint64_t Wal::file_bytes() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return file_bytes_;
 }
 
 }  // namespace rdb

@@ -27,8 +27,14 @@ namespace rdb {
 
 class Wal {
  public:
+  /// Default recycle threshold: the log wraps rather than growing
+  /// without bound (checkpointing stand-in).
+  static constexpr uint64_t kRecycleBytes = 256ull << 20;
+
   /// `path` empty = account bytes but keep no file (in-memory database).
-  explicit Wal(std::string path);
+  /// `recycle_bytes` overrides the wrap threshold (tests use tiny
+  /// values to exercise the boundary without writing 256 MB).
+  explicit Wal(std::string path, uint64_t recycle_bytes = kRecycleBytes);
   ~Wal();
 
   Wal(const Wal&) = delete;
@@ -46,18 +52,21 @@ class Wal {
   uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
   const std::string& path() const { return path_; }
 
+  /// Current write offset in the file (post-wrap position). Bounded by
+  /// recycle_bytes + the largest single commit.
+  uint64_t file_bytes() const;
+
+  uint64_t recycle_bytes() const { return recycle_bytes_; }
+
  private:
   std::string path_;
+  uint64_t recycle_bytes_;
   int fd_ = -1;
-  std::mutex commit_mu_;
+  mutable std::mutex commit_mu_;
   std::atomic<uint64_t> bytes_logged_{0};
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> syncs_{0};
   uint64_t file_bytes_ = 0;  // guarded by commit_mu_
-
-  /// Recycle threshold: the log wraps rather than growing without bound
-  /// (checkpointing stand-in).
-  static constexpr uint64_t kRecycleBytes = 256ull << 20;
 };
 
 }  // namespace rdb

@@ -1,0 +1,142 @@
+#include "rls/admission.h"
+
+#include <algorithm>
+
+#include "rls/protocol.h"
+
+namespace rls {
+
+using rlscommon::Status;
+
+namespace {
+
+/// Protected traffic: never charged against a tenant bucket, executed
+/// on the RPC server's priority lane. Covers the flows whose loss turns
+/// a local overload into a global one — soft-state updates (an RLI that
+/// stops receiving them expires its whole index), admin operations (the
+/// operator's only lever during an incident) and monitoring probes.
+bool IsPriorityOp(uint16_t opcode) {
+  switch (opcode) {
+    case kPing:
+    case kServerStats:
+    case kServerMetrics:
+    case kServerGetStats:
+    case kLrcRliList:
+    case kLrcRliAdd:
+    case kLrcRliRemove:
+    case kLrcForceUpdate:
+    case kSsFullBegin:
+    case kSsFullChunk:
+    case kSsFullEnd:
+    case kSsIncremental:
+    case kSsBloom:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Privilege class an opcode is charged as (mirrors the Authorize
+/// mapping in rls_server.cpp, collapsed to cost classes).
+gsi::Privilege CostClassFor(uint16_t opcode) {
+  switch (opcode) {
+    case kLrcCreate:
+    case kLrcAdd:
+    case kLrcDelete:
+    case kLrcBulkCreate:
+    case kLrcBulkAdd:
+    case kLrcBulkDelete:
+    case kLrcAttrDefine:
+    case kLrcAttrAdd:
+    case kLrcAttrModify:
+    case kLrcAttrDelete:
+    case kLrcBulkAttrAdd:
+    case kLrcBulkAttrDelete:
+    case kLrcAttrUndefine:
+      return gsi::Privilege::kLrcWrite;
+    case kRliQueryLfn:
+    case kRliBulkQuery:
+    case kRliWildcardQuery:
+    case kRliLrcList:
+      return gsi::Privilege::kRliRead;
+    default:
+      return gsi::Privilege::kLrcRead;
+  }
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const ServerLimits& limits,
+                                         rlscommon::Clock* clock,
+                                         obs::Registry* registry)
+    : limits_(limits), clock_(clock), registry_(registry) {
+  if (limits_.per_dn_burst <= 0) limits_.per_dn_burst = limits_.per_dn_rate;
+  if (registry_) {
+    admitted_normal_ = registry_->GetCounter("admission_admitted_total",
+                                             obs::Label("lane", "normal"));
+    admitted_priority_ = registry_->GetCounter("admission_admitted_total",
+                                               obs::Label("lane", "priority"));
+    shed_rate_limit_ = registry_->GetCounter("admission_shed_total",
+                                             obs::Label("reason", "rate_limit"));
+  }
+}
+
+net::AdmitDecision AdmissionController::Admit(const gsi::AuthContext& context,
+                                              uint16_t opcode,
+                                              const std::string& /*request*/) {
+  if (IsPriorityOp(opcode)) {
+    if (admitted_priority_) admitted_priority_->Increment();
+    return {Status::Ok(), /*priority=*/true};
+  }
+  if (limits_.per_dn_rate > 0) {
+    const gsi::Privilege cls = CostClassFor(opcode);
+    const double cost =
+        std::max(0.0, limits_.privilege_cost[static_cast<std::size_t>(cls)]);
+    const rlscommon::TimePoint now = clock_->Now();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, fresh] = buckets_.try_emplace(context.dn);
+    Bucket& bucket = it->second;
+    if (fresh) {
+      bucket.tokens = limits_.per_dn_burst;
+      bucket.last = now;
+      if (registry_) {
+        const std::string label = obs::Label(
+            "dn", context.dn.empty() ? "anonymous" : context.dn);
+        bucket.requests =
+            registry_->GetCounter("admission_dn_requests_total", label);
+        bucket.shed = registry_->GetCounter("admission_dn_shed_total", label);
+      }
+    } else {
+      const double dt =
+          std::chrono::duration<double>(now - bucket.last).count();
+      if (dt > 0) {
+        bucket.tokens = std::min(limits_.per_dn_burst,
+                                 bucket.tokens + dt * limits_.per_dn_rate);
+        bucket.last = now;
+      }
+    }
+    if (bucket.requests) bucket.requests->Increment();
+    if (bucket.tokens < cost) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      if (shed_rate_limit_) shed_rate_limit_->Increment();
+      if (bucket.shed) bucket.shed->Increment();
+      // Tell the client when its bucket will actually hold `cost`
+      // tokens again; never less than the configured floor.
+      const double deficit_ms =
+          (cost - bucket.tokens) / limits_.per_dn_rate * 1000.0;
+      const auto hint = std::max(
+          limits_.retry_after,
+          std::chrono::milliseconds(static_cast<int64_t>(deficit_ms) + 1));
+      return {Status::Unavailable("rate limit exceeded for " +
+                                  (context.dn.empty() ? "anonymous client"
+                                                      : context.dn))
+                  .WithRetryAfter(hint),
+              false};
+    }
+    bucket.tokens -= cost;
+  }
+  if (admitted_normal_) admitted_normal_->Increment();
+  return {Status::Ok(), /*priority=*/false};
+}
+
+}  // namespace rls

@@ -422,6 +422,7 @@ void EncodeStats(const ServerStats& stats, std::string* out) {
   w.U64(stats.updates_received);
   w.U64(stats.updates_sent);
   w.U64(stats.bloom_filters);
+  w.U64(stats.requests_shed);
 }
 
 void MetricsResponse::Encode(std::string* out) const {
@@ -434,6 +435,7 @@ void MetricsResponse::Encode(std::string* out) const {
     w.U64(f.p50_us);
     w.U64(f.p95_us);
     w.U64(f.p99_us);
+    w.U64(f.p999_us);
     w.U64(f.max_us);
   }
 }
@@ -442,7 +444,7 @@ Status MetricsResponse::Decode(std::string_view data, MetricsResponse* out) {
   Reader r(data);
   uint32_t count = 0;
   if (!r.U32(&count)) return TruncatedMessage("metrics count");
-  if (static_cast<uint64_t>(count) * 52 > r.remaining()) {
+  if (static_cast<uint64_t>(count) * 60 > r.remaining()) {
     return TruncatedMessage("metrics list");
   }
   out->families.clear();
@@ -451,7 +453,7 @@ Status MetricsResponse::Decode(std::string_view data, MetricsResponse* out) {
     FamilyMetrics f;
     if (!r.Str(&f.family) || !r.U64(&f.count) || !r.F64(&f.mean_us) ||
         !r.U64(&f.p50_us) || !r.U64(&f.p95_us) || !r.U64(&f.p99_us) ||
-        !r.U64(&f.max_us)) {
+        !r.U64(&f.p999_us) || !r.U64(&f.max_us)) {
       return TruncatedMessage("metrics family");
     }
     out->families.push_back(std::move(f));
@@ -463,7 +465,8 @@ Status DecodeStats(std::string_view data, ServerStats* out) {
   Reader r(data);
   if (!r.U64(&out->lfn_count) || !r.U64(&out->mapping_count) ||
       !r.U64(&out->requests_served) || !r.U64(&out->updates_received) ||
-      !r.U64(&out->updates_sent) || !r.U64(&out->bloom_filters)) {
+      !r.U64(&out->updates_sent) || !r.U64(&out->bloom_filters) ||
+      !r.U64(&out->requests_shed)) {
     return TruncatedMessage("server stats");
   }
   return Status::Ok();
@@ -499,6 +502,7 @@ void GetStatsResponse::Encode(std::string* out) const {
   w.U64(vitals.updates_received);
   w.U64(vitals.updates_sent);
   w.U64(vitals.bloom_filters);
+  w.U64(vitals.requests_shed);
   w.U64(last_update_trace_id);
   w.U32(static_cast<uint32_t>(targets.size()));
   for (const TargetStatus& t : targets) t.Encode(&w);
@@ -513,6 +517,7 @@ void GetStatsResponse::Encode(std::string* out) const {
     w.U64(m.p50_us);
     w.U64(m.p95_us);
     w.U64(m.p99_us);
+    w.U64(m.p999_us);
     w.U64(m.max_us);
   }
 }
@@ -524,6 +529,7 @@ Status GetStatsResponse::Decode(std::string_view data, GetStatsResponse* out) {
       !r.U64(&out->vitals.requests_served) ||
       !r.U64(&out->vitals.updates_received) ||
       !r.U64(&out->vitals.updates_sent) || !r.U64(&out->vitals.bloom_filters) ||
+      !r.U64(&out->vitals.requests_shed) ||
       !r.U64(&out->last_update_trace_id)) {
     return TruncatedMessage("get stats header");
   }
@@ -541,7 +547,7 @@ Status GetStatsResponse::Decode(std::string_view data, GetStatsResponse* out) {
   }
   uint32_t metric_count = 0;
   if (!r.U32(&metric_count)) return TruncatedMessage("metric count");
-  if (static_cast<uint64_t>(metric_count) * 65 > r.remaining()) {
+  if (static_cast<uint64_t>(metric_count) * 73 > r.remaining()) {
     return TruncatedMessage("metric list");
   }
   out->metrics.clear();
@@ -551,7 +557,7 @@ Status GetStatsResponse::Decode(std::string_view data, GetStatsResponse* out) {
     if (!r.Str(&m.name) || !r.Str(&m.labels) || !r.U8(&m.kind) ||
         !r.F64(&m.value) || !r.U64(&m.count) || !r.F64(&m.mean_us) ||
         !r.U64(&m.p50_us) || !r.U64(&m.p95_us) || !r.U64(&m.p99_us) ||
-        !r.U64(&m.max_us)) {
+        !r.U64(&m.p999_us) || !r.U64(&m.max_us)) {
       return TruncatedMessage("metric sample");
     }
     out->metrics.push_back(std::move(m));

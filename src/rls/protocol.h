@@ -240,6 +240,7 @@ struct FamilyMetrics {
   uint64_t p50_us = 0;
   uint64_t p95_us = 0;
   uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
   uint64_t max_us = 0;
 };
 
@@ -267,6 +268,7 @@ struct MetricSample {
   uint64_t p50_us = 0;
   uint64_t p95_us = 0;
   uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
   uint64_t max_us = 0;
 };
 

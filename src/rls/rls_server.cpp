@@ -103,6 +103,18 @@ Status RlsServer::Start() {
   options.auth = config_.auth;
   options.metrics = &registry_;
   options.opcode_name = OpName;
+  if (config_.limits.Enabled()) {
+    admission_ = std::make_unique<AdmissionController>(config_.limits, clock_,
+                                                       &registry_);
+    options.workers = config_.limits.workers;
+    options.queue_depth = config_.limits.queue_depth;
+    options.priority_queue_depth = config_.limits.priority_queue_depth;
+    options.shed_retry_after = config_.limits.retry_after;
+    options.admission = [this](const gsi::AuthContext& auth, uint16_t opcode,
+                               const std::string& request) {
+      return admission_->Admit(auth, opcode, request);
+    };
+  }
   rpc_server_ = std::make_unique<net::RpcServer>(
       network_, config_.address, options,
       [this](const gsi::AuthContext& auth, uint16_t opcode,
@@ -227,6 +239,7 @@ GetStatsResponse RlsServer::GetStatsSnapshot() const {
       m.p50_us = sample.hist.p50_us;
       m.p95_us = sample.hist.p95_us;
       m.p99_us = sample.hist.p99_us;
+      m.p999_us = sample.hist.p999_us;
       m.max_us = sample.hist.max_us;
     }
     resp.metrics.push_back(std::move(m));
@@ -243,7 +256,11 @@ ServerStats RlsServer::Stats() const {
     stats.lfn_count = rli_relational_->LogicalNameCount();
     stats.mapping_count = rli_relational_->AssociationCount();
   }
-  if (rpc_server_) stats.requests_served = rpc_server_->requests_served();
+  if (rpc_server_) {
+    stats.requests_served = rpc_server_->requests_served();
+    stats.requests_shed = rpc_server_->requests_shed();
+  }
+  if (admission_) stats.requests_shed += admission_->shed_total();
   stats.updates_received = rli_updates_received_->Value();
   if (update_manager_) {
     UpdateStats us = update_manager_->stats();
@@ -296,6 +313,7 @@ MetricsResponse RlsServer::Metrics() const {
     f.p50_us = snap.p50_us;
     f.p95_us = snap.p95_us;
     f.p99_us = snap.p99_us;
+    f.p999_us = snap.p999_us;
     f.max_us = snap.max_us;
     metrics.families.push_back(std::move(f));
   };

@@ -28,6 +28,7 @@
 #include "net/rpc.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
+#include "rls/admission.h"
 #include "rls/lrc_store.h"
 #include "rls/protocol.h"
 #include "rls/rli_store.h"
@@ -72,6 +73,10 @@ struct RlsServerConfig {
   RliRoleConfig rli;
   ObsConfig obs;
   gsi::AuthManager auth = gsi::AuthManager::Open();
+
+  /// Overload protection (admission, rate limits, bounded queues).
+  /// Default-constructed = disabled, the pre-overload behavior.
+  ServerLimits limits;
 };
 
 class RlsServer {
@@ -148,6 +153,7 @@ class RlsServer {
   std::unique_ptr<RliRelationalStore> rli_relational_;
   std::unique_ptr<RliBloomStore> rli_bloom_;
   std::unique_ptr<UpdateManager> update_manager_;
+  std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<net::RpcServer> rpc_server_;
 
   // Small worker pool for monitoring-side tasks (JSONL export); its

@@ -92,6 +92,7 @@ struct ServerStats {
   uint64_t updates_received = 0;   // RLI: soft-state updates
   uint64_t updates_sent = 0;       // LRC: soft-state updates
   uint64_t bloom_filters = 0;      // RLI: resident compressed summaries
+  uint64_t requests_shed = 0;      // overload: admission/queue rejections
 };
 
 }  // namespace rls

@@ -124,6 +124,7 @@ TEST(ServerMetricsTest, CodecRoundTrip) {
   f.p50_us = 8;
   f.p95_us = 64;
   f.p99_us = 128;
+  f.p999_us = 192;
   f.max_us = 255;
   metrics.families.push_back(f);
   std::string bytes;
@@ -134,6 +135,7 @@ TEST(ServerMetricsTest, CodecRoundTrip) {
   EXPECT_EQ(decoded.families[0].family, "lrc_read");
   EXPECT_EQ(decoded.families[0].count, 7u);
   EXPECT_DOUBLE_EQ(decoded.families[0].mean_us, 12.5);
+  EXPECT_EQ(decoded.families[0].p999_us, 192u);
   EXPECT_EQ(decoded.families[0].max_us, 255u);
   EXPECT_FALSE(rls::MetricsResponse::Decode("garbage", &decoded).ok());
 }

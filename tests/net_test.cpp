@@ -118,6 +118,77 @@ TEST(MessageQueueTest, PopWakesOnClose) {
   closer.join();
 }
 
+TEST(MessageQueueTest, TryPushRespectsDepthBound) {
+  MessageQueue queue(2);
+  Message m;
+  EXPECT_EQ(queue.TryPush(m), MessageQueue::PushResult::kOk);
+  EXPECT_EQ(queue.TryPush(m), MessageQueue::PushResult::kOk);
+  EXPECT_EQ(queue.TryPush(m), MessageQueue::PushResult::kFull);
+  EXPECT_EQ(queue.depth(), 2u);
+  // Plain Push ignores the bound (control traffic must not be dropped).
+  EXPECT_TRUE(queue.Push(m));
+  EXPECT_EQ(queue.depth(), 3u);
+  // Draining one frees a slot for TryPush again.
+  Message out;
+  ASSERT_TRUE(queue.Pop(&out).ok());
+  ASSERT_TRUE(queue.Pop(&out).ok());
+  EXPECT_EQ(queue.TryPush(m), MessageQueue::PushResult::kOk);
+}
+
+TEST(MessageQueueTest, TryPushAfterCloseReportsClosedNotFull) {
+  MessageQueue queue(1);
+  Message m;
+  ASSERT_EQ(queue.TryPush(m), MessageQueue::PushResult::kOk);
+  queue.Close();
+  // Closed wins over full: the sender must learn the peer is gone, not
+  // keep retrying a "full" queue forever.
+  EXPECT_EQ(queue.TryPush(m), MessageQueue::PushResult::kClosed);
+}
+
+TEST(MessageQueueTest, CloseEnqueueInterleaving) {
+  // Concurrent producers racing a Close: every Push either lands (and is
+  // drained before the closed status surfaces) or reports failure —
+  // messages are never silently lost and never appear after Unavailable.
+  for (int round = 0; round < 20; ++round) {
+    MessageQueue queue;
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < 16; ++i) {
+          Message m;
+          m.opcode = static_cast<uint16_t>(p * 100 + i);
+          if (queue.Push(m)) accepted.fetch_add(1);
+        }
+      });
+    }
+    std::thread closer([&] { queue.Close(); });
+    for (auto& t : producers) t.join();
+    closer.join();
+    int drained = 0;
+    Message out;
+    while (queue.Pop(&out).ok()) ++drained;
+    EXPECT_EQ(drained, accepted.load());
+    EXPECT_EQ(queue.Pop(&out).code(), ErrorCode::kUnavailable);
+  }
+}
+
+TEST(MessageQueueTest, PopForTimesOutThenCloseWakes) {
+  MessageQueue queue;
+  Message out;
+  // No traffic: PopFor must report Timeout, not Unavailable.
+  EXPECT_EQ(queue.PopFor(&out, std::chrono::milliseconds(5)).code(),
+            ErrorCode::kTimeout);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.Close();
+  });
+  // Blocked waiter wakes promptly on Close with Unavailable.
+  EXPECT_EQ(queue.PopFor(&out, std::chrono::seconds(30)).code(),
+            ErrorCode::kUnavailable);
+  closer.join();
+}
+
 TEST(NetworkTest, ConnectRefusedWithoutListener) {
   Network network;
   ConnectionPtr conn;

@@ -61,6 +61,7 @@ TEST(RegistryTest, PrometheusRenderingGolden) {
       "latency_us_p50 127\n"
       "latency_us_p95 127\n"
       "latency_us_p99 127\n"
+      "latency_us_p999 127\n"
       "latency_us_max 127\n"
       "queue_depth -2\n";
   EXPECT_EQ(registry.RenderPrometheus(), expected);

@@ -1,0 +1,95 @@
+// WAL recycle-wrap boundary tests. The log wraps to offset 0 once a
+// commit pushes the file past the recycle threshold (a checkpointing
+// stand-in); these tests drive that boundary with a tiny threshold
+// instead of the production 256 MB.
+#include "rdb/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace rdb {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/rls_" + name + "_" +
+         std::to_string(::getpid()) + ".log";
+}
+
+uint64_t FileSize(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size) : 0;
+}
+
+TEST(WalRecycleTest, WrapsPastThreshold) {
+  const std::string path = TestPath("wal_wrap");
+  Wal wal(path, /*recycle_bytes=*/64);
+  const std::string record(10, 'x');
+  // 6 commits = 60 bytes: still below the threshold, no wrap yet.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(wal.Commit(record, false, {}).ok());
+  }
+  EXPECT_EQ(wal.file_bytes(), 60u);
+  // 7th commit crosses 64; the *next* commit observes file_bytes_ >
+  // threshold and rewinds to offset 0 before writing.
+  ASSERT_TRUE(wal.Commit(record, false, {}).ok());
+  EXPECT_EQ(wal.file_bytes(), 70u);
+  ASSERT_TRUE(wal.Commit(record, false, {}).ok());
+  EXPECT_EQ(wal.file_bytes(), 10u);  // wrapped: first record after rewind
+  // Accounting is monotonic even though the file position wrapped.
+  EXPECT_EQ(wal.commits(), 8u);
+  EXPECT_EQ(wal.bytes_logged(), 80u);
+}
+
+TEST(WalRecycleTest, FileSizeStaysBounded) {
+  const std::string path = TestPath("wal_bounded");
+  const uint64_t threshold = 256;
+  const std::string record(64, 'y');
+  Wal wal(path, threshold);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(wal.Commit(record, false, {}).ok());
+  }
+  // 6400 bytes logged, but the file never grows past threshold + one
+  // record (the commit that crosses the threshold before wrapping).
+  EXPECT_EQ(wal.bytes_logged(), 6400u);
+  EXPECT_LE(FileSize(path), threshold + record.size());
+  EXPECT_LE(wal.file_bytes(), threshold + record.size());
+}
+
+TEST(WalRecycleTest, ExactBoundaryDoesNotWrapEarly) {
+  // Landing exactly on the threshold is not "past" it: the wrap
+  // condition is strictly greater-than.
+  const std::string path = TestPath("wal_exact");
+  Wal wal(path, /*recycle_bytes=*/40);
+  const std::string record(20, 'z');
+  ASSERT_TRUE(wal.Commit(record, false, {}).ok());
+  ASSERT_TRUE(wal.Commit(record, false, {}).ok());
+  EXPECT_EQ(wal.file_bytes(), 40u);
+  ASSERT_TRUE(wal.Commit(record, false, {}).ok());
+  EXPECT_EQ(wal.file_bytes(), 60u);  // 40 == threshold: no wrap yet
+  ASSERT_TRUE(wal.Commit(record, false, {}).ok());
+  EXPECT_EQ(wal.file_bytes(), 20u);  // 60 > threshold: wrapped
+}
+
+TEST(WalRecycleTest, InMemoryWalIgnoresThreshold) {
+  // Path-less WAL keeps accounting without a file; the wrap logic must
+  // not disturb the counters.
+  Wal wal("", /*recycle_bytes=*/8);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wal.Commit("abcdef", false, {}).ok());
+  }
+  EXPECT_EQ(wal.bytes_logged(), 60u);
+  EXPECT_EQ(wal.file_bytes(), 0u);
+}
+
+TEST(WalRecycleTest, DefaultThresholdIsProductionSized) {
+  Wal wal("");
+  EXPECT_EQ(wal.recycle_bytes(), Wal::kRecycleBytes);
+  EXPECT_EQ(Wal::kRecycleBytes, 256ull << 20);
+}
+
+}  // namespace
+}  // namespace rdb

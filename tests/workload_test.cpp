@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
 #include <set>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -122,6 +125,90 @@ TEST(OpStreamTest, QueriesHitPreloadedUniverse) {
     EXPECT_EQ(op.kind, OpKind::kQuery);
     EXPECT_LT(op.index, 100u);
   }
+}
+
+TEST(ZipfTest, StaysInRangeAndDeterministic) {
+  ZipfGenerator a(100, 0.99, 7), b(100, 0.99, 7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = a.Next();
+    EXPECT_LT(v, 100u);
+    EXPECT_EQ(v, b.Next());
+  }
+}
+
+TEST(ZipfTest, LowRanksDominate) {
+  // With exponent ~1 over 1000 items, the top 10 ranks should absorb
+  // roughly 40% of draws — far above the uniform 1%.
+  ZipfGenerator zipf(1000, 0.99, 42);
+  const int n = 20000;
+  int top10 = 0;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next() < 10) ++top10;
+  }
+  EXPECT_GT(top10, n / 4);
+  EXPECT_LT(top10, n * 3 / 5);
+}
+
+TEST(StormStreamTest, QueriesFollowUniverseWritesStayDisjoint) {
+  StormConfig config;
+  config.universe = 200;
+  config.seed = 9;
+  StormStream s0(config, 0), s1(config, 1);
+  std::set<uint64_t> writes0, writes1;
+  for (int i = 0; i < 5000; ++i) {
+    StormAction a0 = s0.Next(), a1 = s1.Next();
+    if (a0.op.kind == OpKind::kQuery) {
+      EXPECT_LT(a0.op.index, 200u);
+    } else {
+      writes0.insert(a0.op.index);
+    }
+    if (a1.op.kind != OpKind::kQuery) writes1.insert(a1.op.index);
+  }
+  // Scratch writes live above the universe, in per-client disjoint
+  // ranges — concurrent storm clients never contend on one mapping.
+  for (uint64_t w : writes0) EXPECT_GE(w, 200u);
+  std::set<uint64_t> overlap;
+  std::set_intersection(writes0.begin(), writes0.end(), writes1.begin(),
+                        writes1.end(),
+                        std::inserter(overlap, overlap.begin()));
+  EXPECT_TRUE(overlap.empty());
+}
+
+TEST(StormStreamTest, BurstsAddThenDeleteSameIndices) {
+  StormConfig config;
+  config.universe = 100;
+  config.burst_probability = 1.0;  // burst immediately
+  config.burst_length = 8;
+  config.seed = 3;
+  StormStream stream(config, 0);
+  std::vector<uint64_t> added, deleted;
+  while (deleted.size() < 8) {
+    StormAction a = stream.Next();
+    ASSERT_TRUE(a.in_burst);
+    if (a.op.kind == OpKind::kAdd) {
+      added.push_back(a.op.index);
+    } else {
+      ASSERT_EQ(a.op.kind, OpKind::kDelete);
+      deleted.push_back(a.op.index);
+    }
+  }
+  EXPECT_EQ(added, deleted);  // the burst cleans up after itself
+}
+
+TEST(StormStreamTest, ChurnRequestsReconnects) {
+  StormConfig config;
+  config.universe = 50;
+  config.churn_probability = 0.2;
+  config.burst_probability = 0;
+  config.seed = 11;
+  StormStream stream(config, 0);
+  int reconnects = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (stream.Next().reconnect) ++reconnects;
+  }
+  EXPECT_GT(reconnects, n / 10);
+  EXPECT_LT(reconnects, n * 3 / 10);
 }
 
 }  // namespace
