@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "obs/span_recorder.h"
 
 namespace rlsbench {
 
@@ -84,11 +85,37 @@ void Table::Print() const {
   std::fflush(stdout);
 }
 
-Testbed::Testbed() = default;
+Testbed::Testbed() {
+  // Opt-in request tracing: RLS_TRACE_JSON=<path> turns the flight
+  // recorder on for the whole run and dumps a Chrome-trace/Perfetto
+  // JSON file at teardown (load in chrome://tracing or ui.perfetto.dev).
+  // Ring size is a cache-footprint tradeoff, not a semantic one: 1024
+  // spans (~0.4MB with hop vectors) still holds tens of milliseconds of
+  // tail at full load, while a many-MB ring measurably slows the very
+  // requests being traced by evicting the server's working set.
+  const char* trace_path = std::getenv("RLS_TRACE_JSON");
+  if (trace_path && *trace_path) {
+    obs::SpanRecorder::Global().Enable(1024);
+  }
+}
 
 Testbed::~Testbed() {
   WriteServerSnapshots();
   for (auto& server : servers_) server->Stop();
+  const char* trace_path = std::getenv("RLS_TRACE_JSON");
+  if (trace_path && *trace_path) {
+    auto status = obs::SpanRecorder::Global().ExportChromeTrace(trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot write RLS_TRACE_JSON file %s: %s\n",
+                    trace_path, status.ToString().c_str());
+    } else {
+      const auto stats = obs::SpanRecorder::Global().GetStats();
+      std::fprintf(stderr,
+                   "trace: wrote %llu spans (%llu dropped by wrap-around) to %s\n",
+                   static_cast<unsigned long long>(stats.depth),
+                   static_cast<unsigned long long>(stats.dropped), trace_path);
+    }
+  }
 }
 
 void Testbed::WriteServerSnapshots() {

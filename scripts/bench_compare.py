@@ -12,8 +12,18 @@ registry instrument. The gate protects the perf trajectory:
     mean > baseline mean * (1 + tolerance) on any matched series fails.
     Getting faster never fails the gate.
 
+With --throughput the gate compares requests_served / uptime_seconds
+instead of latency means: current throughput < baseline * (1 - tolerance)
+fails. When a snapshot file carries several lines for the same server
+(RLS_BENCH_JSON appends), the per-server MEDIAN throughput is compared —
+callers run each variant several times back to back, and the median is
+robust against the lucky-fast and unlucky-slow outliers that single-run
+scheduler noise produces on a shared machine (where a best-of-N
+comparison is biased toward whichever variant has the wider spread).
+
 Usage:
   bench_compare.py BASELINE CURRENT [--tolerance 0.15] [--min-count 100]
+                   [--throughput]
 """
 
 import argparse
@@ -28,7 +38,21 @@ HOT_PATH_METRICS = (
 STRUCTURAL_KEYS = ("lfn_count", "mapping_count")
 
 
+def throughput(obj):
+    uptime = obj.get("uptime_seconds", 0)
+    return obj.get("requests_served", 0) / uptime if uptime > 0 else 0
+
+
+def median(values):
+    ranked = sorted(values)
+    mid = len(ranked) // 2
+    if len(ranked) % 2:
+        return ranked[mid]
+    return (ranked[mid - 1] + ranked[mid]) / 2
+
+
 def load(path):
+    """Returns {server: [line objects, in file order]}."""
     servers = {}
     with open(path) as f:
         for line_no, line in enumerate(f, 1):
@@ -39,8 +63,7 @@ def load(path):
                 obj = json.loads(line)
             except json.JSONDecodeError as e:
                 sys.exit(f"{path}:{line_no}: malformed JSON line: {e}")
-            key = obj.get("server", f"line{line_no}")
-            servers[key] = obj
+            servers.setdefault(obj.get("server", f"line{line_no}"), []).append(obj)
     return servers
 
 
@@ -58,6 +81,9 @@ def main():
                         help="ignore histogram series with fewer samples")
     parser.add_argument("--metrics", nargs="*", default=list(HOT_PATH_METRICS),
                         help="histogram metric names to gate on")
+    parser.add_argument("--throughput", action="store_true",
+                        help="gate on requests_served/uptime_seconds instead "
+                             "of latency means (median over each server's lines)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -65,17 +91,30 @@ def main():
 
     failures = []
     compared = 0
-    for server, base_obj in sorted(baseline.items()):
-        cur_obj = current.get(server)
-        if cur_obj is None:
+    for server, base_lines in sorted(baseline.items()):
+        cur_lines = current.get(server)
+        if cur_lines is None:
             failures.append(f"{server}: missing from current run")
             continue
+        base_obj, cur_obj = base_lines[-1], cur_lines[-1]
         for key in STRUCTURAL_KEYS:
             if base_obj.get(key) != cur_obj.get(key):
                 failures.append(
                     f"{server}: {key} changed "
                     f"{base_obj.get(key)} -> {cur_obj.get(key)} "
                     f"(bench no longer measures the same workload)")
+        if args.throughput:
+            base_tput = median([throughput(o) for o in base_lines])
+            cur_tput = median([throughput(o) for o in cur_lines])
+            compared += 1
+            if base_tput > 0 and cur_tput < base_tput * (1 - args.tolerance):
+                failures.append(
+                    f"{server}: median throughput dropped "
+                    f"{base_tput:.0f} -> {cur_tput:.0f} req/s over "
+                    f"{len(base_lines)}/{len(cur_lines)} runs "
+                    f"({100 * (1 - cur_tput / base_tput):.1f}% down, "
+                    f"allowed {100 * args.tolerance:.0f}%)")
+            continue
         cur_metrics = {metric_key(m): m for m in cur_obj.get("metrics", [])}
         for base_metric in base_obj.get("metrics", []):
             name = base_metric.get("name", "")
@@ -105,8 +144,9 @@ def main():
         for failure in failures:
             print(f"  FAIL {failure}", file=sys.stderr)
         return 1
-    print(f"bench gate: OK ({compared} hot-path series within "
-          f"+{100 * args.tolerance:.0f}% of baseline)")
+    what = "server throughputs" if args.throughput else "hot-path series"
+    print(f"bench gate: OK ({compared} {what} within "
+          f"{100 * args.tolerance:.0f}% of baseline)")
     return 0
 
 

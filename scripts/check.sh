@@ -3,11 +3,19 @@
 # under ASan+UBSan, so races like the old HashIndex probe-counter one
 # can't land silently.
 #
-# Usage: scripts/check.sh [plain|thread|address,undefined|bench]...
-#   (no arguments = the three sanitizer configurations)
+# Usage: scripts/check.sh [plain|thread|address,undefined|trace|bench]...
+#   (no arguments = the three sanitizer configurations + trace)
+#
+# The `trace` config is the tracing smoke gate: it runs the fig06 bench
+# with the flight recorder on (RLS_TRACE_JSON), validates the exported
+# Chrome trace-event JSON (schema + per-request stage coverage, via
+# scripts/trace_summarize.py --validate), and compares the recorder-on
+# run against a recorder-off run of the same bench so enabling tracing
+# can never cost more than 5% on the hot path. Both runs happen on this
+# machine back to back, so the comparison is baseline-free.
 #
 # The extra opt-in `bench` config is the perf-trajectory gate: it runs
-# the fig04/fig06 hot-path benches under a pinned environment and
+# the fig04/fig06/fig10 hot-path benches under a pinned environment and
 # compares their JSONL snapshots against the baselines pinned in
 # bench/baselines/ (scripts/bench_compare.py; >15% hot-path latency
 # slippage fails). It is opt-in rather than default because absolute
@@ -21,7 +29,8 @@ cd "$(dirname "$0")/.."
 # Pinned bench-gate environment: small scale + one trial keeps the gate
 # fast; any change here invalidates the pinned baselines.
 BENCH_GATE_ENV=(RLS_BENCH_SCALE=0.02 RLS_BENCH_TRIALS=1 RLS_FLUSH_PENALTY_US=8000)
-BENCH_GATE_BENCHES=(bench_fig04_lrc_add_flush bench_fig06_lrc_ops_multiclient)
+BENCH_GATE_BENCHES=(bench_fig04_lrc_add_flush bench_fig06_lrc_ops_multiclient
+                    bench_fig10_rli_query_bloom)
 
 run_bench_gate() {  # $1 = output mode: "compare" or "rebaseline"
   local dir=build-check
@@ -46,9 +55,36 @@ run_bench_gate() {  # $1 = output mode: "compare" or "rebaseline"
   done
 }
 
+run_trace_gate() {
+  local dir=build-check
+  echo "=== [trace] configure + build ($dir)"
+  cmake -B "$dir" -S . -DRLS_SANITIZE= >/dev/null
+  cmake --build "$dir" -j --target bench_fig06_lrc_ops_multiclient
+  local off="$dir/TRACE_fig06_off.json" on="$dir/TRACE_fig06_on.json"
+  local trace="$dir/trace_fig06.json"
+  rm -f "$off" "$on" "$trace"
+  # Interleaved A/B, five runs per variant: RLS_BENCH_JSON appends, and
+  # the --throughput compare takes each variant's median run, so the
+  # scheduler noise of a single run at gate scale (easily 10-20% either
+  # way) cannot decide the verdict.
+  local round
+  for round in 1 2 3 4 5; do
+    echo "=== [trace] fig06 round $round, recorder off"
+    env "${BENCH_GATE_ENV[@]}" RLS_BENCH_JSON="$off" \
+      "$dir/bench/bench_fig06_lrc_ops_multiclient" >/dev/null
+    echo "=== [trace] fig06 round $round, recorder on (RLS_TRACE_JSON)"
+    env "${BENCH_GATE_ENV[@]}" RLS_BENCH_JSON="$on" RLS_TRACE_JSON="$trace" \
+      "$dir/bench/bench_fig06_lrc_ops_multiclient" >/dev/null
+  done
+  echo "=== [trace] Chrome trace-event schema + stage coverage"
+  python3 scripts/trace_summarize.py "$trace" --validate
+  echo "=== [trace] recorder overhead gate (median-of-5 throughput, -5% max)"
+  python3 scripts/bench_compare.py "$off" "$on" --throughput --tolerance 0.05
+}
+
 configs=("$@")
 if [ ${#configs[@]} -eq 0 ]; then
-  configs=(plain thread "address,undefined")
+  configs=(plain thread "address,undefined" trace)
 fi
 
 for config in "${configs[@]}"; do
@@ -65,6 +101,10 @@ for config in "${configs[@]}"; do
       dir=build-check-asan
       flags=(-DRLS_SANITIZE=address,undefined)
       ;;
+    trace)
+      run_trace_gate
+      continue
+      ;;
     bench)
       run_bench_gate compare
       continue
@@ -74,7 +114,7 @@ for config in "${configs[@]}"; do
       continue
       ;;
     *)
-      echo "unknown config '$config' (want plain, thread, address,undefined or bench)" >&2
+      echo "unknown config '$config' (want plain, thread, address,undefined, trace or bench)" >&2
       exit 2
       ;;
   esac

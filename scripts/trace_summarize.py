@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Summarize an RLS_TRACE_JSON dump (Chrome trace-event / Perfetto JSON).
+
+Reads the flight-recorder export written by the bench harness (or by
+SpanRecorder::ExportChromeTrace) and prints:
+
+  * a per-stage latency table (count, p50, p99, total time) aggregated
+    over every stage slice in the file, so "where does the time go"
+    is answerable without opening a UI;
+  * the top-K slowest spans with their trace ids and stage breakdown,
+    ready to paste into a GetTraces filter.
+
+With --validate the script instead acts as a schema gate (used by
+scripts/check.sh): it fails unless the file is valid Chrome trace-event
+JSON ({"traceEvents": [...]}, complete "X" events with name/cat/ts/dur/
+pid/tid) and, for every rpc span, the stage slices cover at least
+--coverage (default 0.9) of the span's wall time.
+
+Usage:
+  trace_summarize.py TRACE.json [--top 5] [--validate] [--coverage 0.9]
+"""
+
+import argparse
+import json
+import sys
+
+
+def percentile(sorted_values, q):
+    if not sorted_values:
+        return 0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def load_events(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"{path}: not valid JSON: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        sys.exit(f"{path}: not a Chrome trace-event file "
+                 '(expected {"traceEvents": [...]})')
+    return doc["traceEvents"]
+
+
+def check_schema(path, events):
+    """Chrome trace-event schema: every event a complete ('X') slice with
+    the fields chrome://tracing and Perfetto require to render it."""
+    problems = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        for field in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+            if field not in ev:
+                problems.append(f"event {i}: missing field '{field}'")
+        if ev.get("ph") != "X":
+            problems.append(f"event {i}: ph={ev.get('ph')!r}, expected 'X'")
+        for field in ("ts", "dur"):
+            if not isinstance(ev.get(field), (int, float)):
+                problems.append(f"event {i}: {field} is not a number")
+    if problems:
+        print(f"{path}: {len(problems)} schema problem(s):", file=sys.stderr)
+        for p in problems[:20]:
+            print(f"  FAIL {p}", file=sys.stderr)
+        sys.exit(1)
+
+
+def split_events(events):
+    """(spans, stages-grouped-by-owning-span-id)."""
+    spans = []
+    stages = {}
+    for ev in events:
+        span_id = (ev.get("args") or {}).get("span", "")
+        if ev.get("cat") == "stage":
+            stages.setdefault(span_id, []).append(ev)
+        else:
+            spans.append(ev)
+    return spans, stages
+
+
+def check_coverage(path, spans, stages, threshold):
+    """Every rpc span's stage slices must tile >= threshold of its wall
+    time (the reply hop closes the span, so gaps mean lost stages)."""
+    failures = []
+    checked = 0
+    for span in spans:
+        if span.get("cat") != "rpc":
+            continue
+        dur = span.get("dur", 0)
+        if dur <= 0:
+            continue  # sub-microsecond request: nothing to decompose
+        covered = sum(s.get("dur", 0)
+                      for s in stages.get((span.get("args") or {}).get("span", ""), []))
+        checked += 1
+        # 2us of slack absorbs microsecond rounding on short requests.
+        if covered + 2 < threshold * dur:
+            failures.append(
+                f"span {span.get('name')} trace={(span.get('args') or {}).get('trace')}"
+                f" stages cover {covered}us of {dur}us"
+                f" ({100 * covered / dur:.0f}% < {100 * threshold:.0f}%)")
+    if failures:
+        print(f"{path}: {len(failures)} of {checked} rpc spans under-covered:",
+              file=sys.stderr)
+        for f in failures[:20]:
+            print(f"  FAIL {f}", file=sys.stderr)
+        sys.exit(1)
+    return checked
+
+
+def summarize(spans, stages, top_k):
+    by_stage = {}
+    for slices in stages.values():
+        for s in slices:
+            by_stage.setdefault(s["name"], []).append(s.get("dur", 0))
+
+    print(f"{'stage':<14} {'count':>8} {'p50_us':>10} {'p99_us':>10} {'total_ms':>10}")
+    print("-" * 56)
+    for name, durs in sorted(by_stage.items(), key=lambda kv: -sum(kv[1])):
+        durs.sort()
+        print(f"{name:<14} {len(durs):>8} {percentile(durs, 0.50):>10} "
+              f"{percentile(durs, 0.99):>10} {sum(durs) / 1000:>10.2f}")
+
+    print(f"\ntop {top_k} slowest spans:")
+    slowest = sorted(spans, key=lambda s: -s.get("dur", 0))[:top_k]
+    for span in slowest:
+        args = span.get("args") or {}
+        breakdown = ", ".join(
+            f"{s['name']}={s.get('dur', 0)}us"
+            for s in sorted(stages.get(args.get("span", ""), []),
+                            key=lambda s: s.get("ts", 0)))
+        print(f"  {span.get('dur', 0):>8}us {span.get('cat')}:{span.get('name')}"
+              f" trace={args.get('trace')} [{breakdown}]")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("--top", type=int, default=5,
+                        help="slow spans to list (default 5)")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema + stage-coverage gate, no summary")
+    parser.add_argument("--coverage", type=float, default=0.9,
+                        help="required stage coverage of rpc spans (default 0.9)")
+    args = parser.parse_args()
+
+    events = load_events(args.trace)
+    if not events:
+        sys.exit(f"{args.trace}: traceEvents is empty")
+    check_schema(args.trace, events)
+    spans, stages = split_events(events)
+
+    if args.validate:
+        checked = check_coverage(args.trace, spans, stages, args.coverage)
+        print(f"{args.trace}: OK ({len(events)} events, {len(spans)} spans, "
+              f"{checked} rpc spans >= {100 * args.coverage:.0f}% stage coverage)")
+        return 0
+
+    summarize(spans, stages, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

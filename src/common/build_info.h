@@ -1,0 +1,33 @@
+// Compile-time build description for process vitals.
+//
+// Operators reading a GetStats snapshot need to know whether the numbers
+// came from a sanitizer or debug build before comparing them against a
+// baseline — a TSan binary is ~10x slower and its latencies are not data.
+#pragma once
+
+#include <string>
+
+#ifndef __has_feature
+#define __has_feature(x) 0  // GCC: sanitizers advertise via __SANITIZE_*__
+#endif
+
+namespace rlscommon {
+
+/// "release" / "debug", plus "+tsan" / "+asan" when the binary was built
+/// under a sanitizer (e.g. "debug+tsan").
+inline std::string BuildDescription() {
+#ifdef NDEBUG
+  std::string desc = "release";
+#else
+  std::string desc = "debug";
+#endif
+#if defined(__SANITIZE_THREAD__) || __has_feature(thread_sanitizer)
+  desc += "+tsan";
+#endif
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+  desc += "+asan";
+#endif
+  return desc;
+}
+
+}  // namespace rlscommon

@@ -33,14 +33,40 @@ int64_t MonotonicMicros() {
       .count();
 }
 
+}  // namespace
+
 /// Small dense per-thread id (std::thread::id is opaque and wide).
-uint32_t ThreadId() {
+uint32_t DenseThreadId() {
   static std::atomic<uint32_t> next{1};
   thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
-}  // namespace
+bool LogRateLimiter::Allow(uint64_t* suppressed) {
+  return AllowAt(MonotonicMicros(), suppressed);
+}
+
+bool LogRateLimiter::AllowAt(int64_t now_us, uint64_t* suppressed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!primed_) {
+    primed_ = true;
+    last_us_ = now_us;
+  }
+  if (now_us > last_us_) {
+    tokens_ += per_second_ * static_cast<double>(now_us - last_us_) / 1e6;
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_us_ = now_us;
+  }
+  if (tokens_ < 1.0) {
+    ++pending_suppressed_;
+    total_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  tokens_ -= 1.0;
+  if (suppressed) *suppressed = pending_suppressed_;
+  pending_suppressed_ = 0;
+  return true;
+}
 
 void SetLogLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -53,7 +79,7 @@ LogLevel GetLogLevel() {
 void LogLine(LogLevel level, std::string_view component, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
   const int64_t t_us = MonotonicMicros();
-  const uint32_t tid = ThreadId();
+  const uint32_t tid = DenseThreadId();
   const TraceContext trace = CurrentTrace();
   std::lock_guard<std::mutex> lock(g_io_mu);
   if (trace.valid()) {

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -15,6 +17,45 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 /// Sets the global minimum level; messages below it are discarded.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Small dense per-thread id — what log lines print as "tid N" and what
+/// the span recorder stores, so a trace's spans line up with the log.
+uint32_t DenseThreadId();
+
+/// Token-bucket limiter for one log site. `per_second` tokens refill
+/// continuously up to `burst`; each allowed event consumes one. Events
+/// arriving with an empty bucket are counted, and the count of
+/// suppressed events is handed to the next allowed one so the reader
+/// knows lines went missing. Thread-safe; intended to be a function-local
+/// static at the log site (one bucket per site).
+class LogRateLimiter {
+ public:
+  LogRateLimiter(double per_second, double burst)
+      : per_second_(per_second > 0 ? per_second : 1),
+        burst_(burst >= 1 ? burst : 1),
+        tokens_(burst_) {}
+
+  /// True if this event may log. On true, *suppressed receives how many
+  /// events were dropped since the previous allowed one.
+  bool Allow(uint64_t* suppressed = nullptr);
+
+  /// Clock-injected form for tests; `now_us` must be monotonic.
+  bool AllowAt(int64_t now_us, uint64_t* suppressed = nullptr);
+
+  uint64_t total_suppressed() const {
+    return total_suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const double per_second_;
+  const double burst_;
+  std::mutex mu_;
+  double tokens_;
+  int64_t last_us_ = 0;
+  bool primed_ = false;
+  uint64_t pending_suppressed_ = 0;
+  std::atomic<uint64_t> total_suppressed_{0};
+};
 
 /// Emits one formatted line to stderr:
 ///   [<monotonic seconds>] [level] [component] [tid N] message [trace=<id>]
@@ -47,6 +88,33 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// LogMessage wrapper that appends a "(rate-limited: N suppressed)"
+/// trailer when the site's bucket dropped events before this one.
+class RateLimitedLogMessage {
+ public:
+  RateLimitedLogMessage(LogLevel level, std::string_view component,
+                        uint64_t suppressed)
+      : msg_(level, component), suppressed_(suppressed) {}
+  ~RateLimitedLogMessage() {
+    if (suppressed_ > 0) {
+      msg_ << " (rate-limited: " << suppressed_ << " similar suppressed)";
+    }
+  }
+
+  RateLimitedLogMessage(const RateLimitedLogMessage&) = delete;
+  RateLimitedLogMessage& operator=(const RateLimitedLogMessage&) = delete;
+
+  template <typename T>
+  RateLimitedLogMessage& operator<<(const T& value) {
+    msg_ << value;
+    return *this;
+  }
+
+ private:
+  LogMessage msg_;
+  uint64_t suppressed_;
+};
+
 }  // namespace internal
 }  // namespace rlscommon
 
@@ -57,6 +125,21 @@ class LogMessage {
   if (!RLS_LOG_ENABLED(level)) {                        \
   } else                                                \
     ::rlscommon::internal::LogMessage(level, component)
+
+// Rate-limited log statement. `limiter` is a LogRateLimiter lvalue —
+// typically a function-local static, giving the site its own bucket:
+//   static rlscommon::LogRateLimiter limiter(10, 20);
+//   RLS_LOG_RATELIMITED(rlscommon::LogLevel::kWarn, "obs", limiter) << ...;
+// Suppressed events are counted and reported on the next allowed line.
+#define RLS_LOG_RATELIMITED(level, component, limiter)                      \
+  if (uint64_t rls_suppressed_ = 0;                                         \
+      !RLS_LOG_ENABLED(level) || !(limiter).Allow(&rls_suppressed_)) {      \
+  } else                                                                    \
+    ::rlscommon::internal::RateLimitedLogMessage(level, component,          \
+                                                 rls_suppressed_)
+
+#define RLS_WARN_RATELIMITED(component, limiter) \
+  RLS_LOG_RATELIMITED(::rlscommon::LogLevel::kWarn, component, limiter)
 
 #define RLS_DEBUG(component) RLS_LOG(::rlscommon::LogLevel::kDebug, component)
 #define RLS_INFO(component) RLS_LOG(::rlscommon::LogLevel::kInfo, component)

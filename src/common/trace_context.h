@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace rlscommon {
 
@@ -33,6 +34,30 @@ inline TraceContext CurrentTrace() { return MutableCurrentTrace(); }
 
 inline void SetCurrentTrace(TraceContext context) {
   MutableCurrentTrace() = context;
+}
+
+/// Ambient hop sink. The innermost active obs::Span installs itself
+/// here (stack discipline, like the trace slot above) so lower layers —
+/// rdb's WAL, the SQL engine, RLI ingest — can stamp named stage
+/// timestamps onto whatever request span is in flight without taking a
+/// dependency on the obs module. `stamp` is a plain function pointer so
+/// this header stays free of std::function.
+struct HopSlot {
+  void* span = nullptr;
+  void (*stamp)(void* span, std::string_view what) = nullptr;
+};
+
+inline HopSlot& MutableCurrentHopSlot() {
+  thread_local HopSlot slot;
+  return slot;
+}
+
+/// Stamps a named stage timestamp ("db_txn", "wal_sync") on the
+/// innermost active span, if any. One thread-local read when no span is
+/// active.
+inline void StampHop(std::string_view what) {
+  const HopSlot& slot = MutableCurrentHopSlot();
+  if (slot.span != nullptr && slot.stamp != nullptr) slot.stamp(slot.span, what);
 }
 
 }  // namespace rlscommon

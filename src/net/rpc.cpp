@@ -1,6 +1,7 @@
 #include "net/rpc.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/clock.h"
 #include "common/logging.h"
@@ -130,7 +131,7 @@ std::size_t RpcServer::active_connections() const {
   return connections_.size();
 }
 
-const RpcServer::OpMetrics* RpcServer::MetricsFor(uint16_t opcode) {
+RpcServer::OpMetrics* RpcServer::MetricsFor(uint16_t opcode) {
   if (!options_.metrics) return nullptr;
   // Real opcodes are all < 256; anything larger takes the locked path
   // every time rather than growing the cache unboundedly.
@@ -148,6 +149,7 @@ const RpcServer::OpMetrics* RpcServer::MetricsFor(uint16_t opcode) {
                                                   : std::to_string(opcode);
   const std::string labels = obs::Label("method", method);
   auto metrics = std::make_unique<OpMetrics>();
+  metrics->method = method;
   metrics->requests = options_.metrics->GetCounter("rpc_requests_total", labels);
   metrics->errors = options_.metrics->GetCounter("rpc_errors_total", labels);
   metrics->latency =
@@ -158,8 +160,67 @@ const RpcServer::OpMetrics* RpcServer::MetricsFor(uint16_t opcode) {
   return raw;
 }
 
+obs::Histogram* RpcServer::StageHistogram(OpMetrics* metrics,
+                                          std::string_view stage) {
+  // Slow path: first request ever to report this (method, stage) pair.
+  // Publish a copied table so concurrent readers never need the lock.
+  std::lock_guard<std::mutex> lock(metrics->stage_mu);
+  const OpMetrics::StageTable* current =
+      metrics->stage_table.load(std::memory_order_relaxed);
+  if (current) {
+    for (const auto& [name, hist] : current->entries) {
+      if (name == stage) return hist;
+    }
+  }
+  const std::string labels = obs::Label("method", metrics->method) + "," +
+                             obs::Label("stage", std::string(stage));
+  obs::Histogram* hist =
+      options_.metrics->GetHistogram("rpc_stage_latency_us", labels);
+  auto next = std::make_unique<OpMetrics::StageTable>();
+  if (current) next->entries = current->entries;
+  next->entries.emplace_back(std::string(stage), hist);
+  metrics->stage_table.store(next.get(), std::memory_order_release);
+  metrics->stage_versions.push_back(std::move(next));
+  return hist;
+}
+
+void RpcServer::RecordStageLatencies(OpMetrics* metrics, const obs::Span& span,
+                                     uint64_t trace_id) {
+  // Lock-free on the steady-state path: every worker records the same
+  // handful of stages per method, so after warm-up the published table
+  // answers each lookup with a short linear scan. Histograms themselves
+  // are atomic-based and need no external lock.
+  const OpMetrics::StageTable* table =
+      metrics->stage_table.load(std::memory_order_acquire);
+  uint64_t prev_us = 0;
+  for (const auto& [what, at] : span.hops()) {
+    const int64_t at_signed =
+        std::chrono::duration_cast<std::chrono::microseconds>(at).count();
+    const uint64_t at_us = at_signed > 0 ? static_cast<uint64_t>(at_signed) : 0;
+    if (at_us < prev_us) continue;  // out-of-order ambient stamp; skip
+    obs::Histogram* hist = nullptr;
+    if (table) {
+      for (const auto& [name, cached] : table->entries) {
+        if (name == what) {
+          hist = cached;
+          break;
+        }
+      }
+    }
+    if (!hist) {
+      hist = StageHistogram(metrics, what);
+      table = metrics->stage_table.load(std::memory_order_acquire);
+    }
+    hist->RecordMicros(at_us - prev_us);
+    hist->OfferExemplar(at_us - prev_us, trace_id);
+    prev_us = at_us;
+  }
+}
+
 void RpcServer::ExecuteRequest(const std::shared_ptr<Connection>& conn,
-                               const gsi::AuthContext& context, Message msg) {
+                               const gsi::AuthContext& context, Message msg,
+                               std::chrono::steady_clock::time_point recv_time,
+                               std::chrono::steady_clock::time_point admit_time) {
   Message reply;
   reply.request_id = msg.request_id;
   reply.opcode = msg.opcode;
@@ -167,15 +228,42 @@ void RpcServer::ExecuteRequest(const std::shared_ptr<Connection>& conn,
   reply.trace_id = msg.trace_id;
   reply.span_id = msg.span_id;
 
-  const OpMetrics* metrics = MetricsFor(msg.opcode);
+  OpMetrics* metrics = MetricsFor(msg.opcode);
   // Make the caller's trace ambient for the handler (and anything it
   // triggers on this thread, e.g. synchronous soft-state sends).
   obs::ScopedTrace trace(obs::TraceContext{msg.trace_id, msg.span_id});
+
+  // The request span decomposes the lifecycle into stages: [recv ->
+  // admission -> queue_wait -> (handler, which stamps auth/db_txn/
+  // wal_sync/rli_ingest hops ambiently) -> handler residue -> reply].
+  // Only built while tracing is active; the always-on cost of the
+  // subsystem is the two clock stamps taken in ServeConnection.
+  std::optional<obs::Span> span;
+  if (obs::TracingActive()) {
+    std::string fallback;
+    if (!metrics) {
+      fallback = options_.opcode_name ? options_.opcode_name(msg.opcode)
+                                      : std::to_string(msg.opcode);
+    }
+    span.emplace("rpc", metrics ? std::string_view(metrics->method)
+                                : std::string_view(fallback),
+                 recv_time);
+    span->Hop("admission", admit_time);
+    span->Hop("queue_wait");  // admit -> a worker picked it up (inline: ~0)
+  }
+
   rlscommon::Stopwatch timer;
   Status status = handler_(context, msg.opcode, msg.payload, &reply.payload);
+  if (span) span->Hop("handler");  // handler time not claimed by inner hops
+  const auto handler_elapsed = timer.Elapsed();
   if (metrics) {
     metrics->requests->Increment();
-    metrics->latency->Record(timer.Elapsed());
+    metrics->latency->Record(handler_elapsed);
+    metrics->latency->OfferExemplar(
+        static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                  handler_elapsed)
+                                  .count()),
+        msg.trace_id);
     if (!status.ok()) metrics->errors->Increment();
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
@@ -185,6 +273,11 @@ void RpcServer::ExecuteRequest(const std::shared_ptr<Connection>& conn,
     EncodeError(status, &reply.payload);
   }
   conn->Send(std::move(reply));
+  if (span) {
+    span->End("reply");
+    if (metrics) RecordStageLatencies(metrics, *span, msg.trace_id);
+    span.reset();  // completes the span: recorder entry + slow-WARN check
+  }
 }
 
 Status RpcServer::Enqueue(Pending pending, bool priority) {
@@ -229,7 +322,8 @@ void RpcServer::WorkerLoop() {
         return;  // closed and drained
       }
     }
-    ExecuteRequest(pending.conn, pending.context, std::move(pending.msg));
+    ExecuteRequest(pending.conn, pending.context, std::move(pending.msg),
+                   pending.recv_time, pending.admit_time);
   }
 }
 
@@ -239,6 +333,10 @@ void RpcServer::ServeConnection(std::shared_ptr<Connection> conn) {
   const bool pooled = options_.workers > 0;
   Message msg;
   while (conn->Recv(&msg).ok()) {
+    // Transport-receive stamp: the request span starts here, so run-queue
+    // wait is charged to the request. With tracing off these two stamps
+    // (recv here, admit below) are the subsystem's whole per-request cost.
+    const auto recv_time = std::chrono::steady_clock::now();
     Status status;
     bool priority = false;
     if (msg.opcode == kOpcodeAuth) {
@@ -255,13 +353,15 @@ void RpcServer::ServeConnection(std::shared_ptr<Connection> conn) {
         priority = decision.priority;
       }
       if (status.ok()) {
+        const auto admit_time = std::chrono::steady_clock::now();
         if (pooled) {
           // Hand off to the worker pool; the reply (including a
           // queue-full shed) is produced there or right below.
-          status = Enqueue(Pending{conn, context, msg}, priority);
+          status = Enqueue(Pending{conn, context, msg, recv_time, admit_time},
+                           priority);
           if (status.ok()) continue;
         } else {
-          ExecuteRequest(conn, context, std::move(msg));
+          ExecuteRequest(conn, context, std::move(msg), recv_time, admit_time);
           continue;
         }
       }

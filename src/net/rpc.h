@@ -34,6 +34,10 @@
 #include "net/transport.h"
 #include "obs/metrics.h"
 
+namespace obs {
+class Span;
+}
+
 namespace net {
 
 /// Opcode reserved for the connection handshake.
@@ -128,27 +132,55 @@ class RpcServer {
   /// Per-opcode instrument pointers, resolved once per opcode and cached
   /// so the request hot path does no registry (map+mutex) lookups.
   struct OpMetrics {
+    std::string method;  // rendered method label for this opcode
     obs::Counter* requests = nullptr;
     obs::Counter* errors = nullptr;
     obs::Histogram* latency = nullptr;
+    // Per-stage latency histograms (rpc_stage_latency_us{method,stage}),
+    // resolved lazily per stage name. The live table is published
+    // copy-on-write so the tracing-enabled hot path reads it with a
+    // single acquire load and a short linear scan — no lock. Retired
+    // versions stay parked in `stage_versions` (a handful of tiny
+    // vectors per method, freed with the server) so a racing reader can
+    // never dangle.
+    struct StageTable {
+      std::vector<std::pair<std::string, obs::Histogram*>> entries;
+    };
+    std::atomic<const StageTable*> stage_table{nullptr};
+    std::mutex stage_mu;  // serializes table updates only
+    std::vector<std::unique_ptr<const StageTable>> stage_versions;
   };
   static constexpr std::size_t kOpcodeCacheSize = 256;
 
   /// One admitted request parked in the run queue. The auth context is
   /// copied at admission: the connection thread may re-authenticate
   /// mid-stream, and workers must not read a mutating context.
+  /// `recv_time`/`admit_time` stamp the transport receive and admission
+  /// decision instants so the request span can charge queue wait.
   struct Pending {
     std::shared_ptr<Connection> conn;
     gsi::AuthContext context;
     Message msg;
+    std::chrono::steady_clock::time_point recv_time{};
+    std::chrono::steady_clock::time_point admit_time{};
   };
 
   void ServeConnection(std::shared_ptr<Connection> conn);
-  const OpMetrics* MetricsFor(uint16_t opcode);
+  OpMetrics* MetricsFor(uint16_t opcode);
+
+  /// Stage histogram for (opcode method, stage); created on first use.
+  obs::Histogram* StageHistogram(OpMetrics* metrics, std::string_view stage);
+
+  /// Records per-stage latencies (deltas between consecutive span hops)
+  /// into the stage histograms, with the trace id as exemplar.
+  void RecordStageLatencies(OpMetrics* metrics, const obs::Span& span,
+                            uint64_t trace_id);
 
   /// Runs the handler for one admitted request and sends the reply.
   void ExecuteRequest(const std::shared_ptr<Connection>& conn,
-                      const gsi::AuthContext& context, Message msg);
+                      const gsi::AuthContext& context, Message msg,
+                      std::chrono::steady_clock::time_point recv_time,
+                      std::chrono::steady_clock::time_point admit_time);
 
   /// Parks an admitted request on the chosen lane; UNAVAILABLE +
   /// retry-after if that lane is full.

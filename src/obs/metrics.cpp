@@ -76,6 +76,8 @@ Snapshot Registry::TakeSnapshot() const {
       sample.value = static_cast<double>(inst.gauge->Value());
     } else if (inst.histogram) {
       sample.hist = inst.histogram->GetSnapshot();
+      sample.exemplar_us = inst.histogram->exemplar_us();
+      sample.exemplar_trace = inst.histogram->exemplar_trace();
     }
     snapshot.samples.push_back(std::move(sample));
   }
@@ -159,10 +161,21 @@ std::string Registry::RenderJson(const std::string& extra) const {
       std::snprintf(buf, sizeof(buf),
                     ", \"count\": %" PRIu64 ", \"mean_us\": %g, \"p50_us\": %" PRIu64
                     ", \"p95_us\": %" PRIu64 ", \"p99_us\": %" PRIu64
-                    ", \"p999_us\": %" PRIu64 ", \"max_us\": %" PRIu64 "}",
+                    ", \"p999_us\": %" PRIu64 ", \"max_us\": %" PRIu64,
                     s.hist.count, s.hist.mean_us, s.hist.p50_us, s.hist.p95_us,
                     s.hist.p99_us, s.hist.p999_us, s.hist.max_us);
       out += buf;
+      // Exemplar of the slowest sample, when one was offered — the
+      // trace id a reader feeds to GetTraces. Histogram JSON only; the
+      // Prometheus exposition is unchanged.
+      if (s.exemplar_trace != 0) {
+        std::snprintf(buf, sizeof(buf),
+                      ", \"exemplar_us\": %" PRIu64
+                      ", \"exemplar_trace\": \"%016" PRIx64 "\"",
+                      s.exemplar_us, s.exemplar_trace);
+        out += buf;
+      }
+      out += "}";
     } else {
       out += ", \"value\": " + FormatValue(s.value) + "}";
     }

@@ -52,6 +52,11 @@ class Gauge {
 
 /// Latency distribution; thin wrapper over the lock-free log-bucket
 /// histogram so registry instruments share one implementation.
+///
+/// A histogram can carry one exemplar: the trace id of the slowest
+/// sample offered so far, so a reader staring at a bad p999 has a trace
+/// to pull from the flight recorder. Lock-free, racy by design (a tie
+/// may keep either sample) — that is fine for an exemplar.
 class Histogram {
  public:
   void Record(std::chrono::nanoseconds latency) { hist_.Record(latency); }
@@ -60,12 +65,30 @@ class Histogram {
     return hist_.GetSnapshot();
   }
 
+  /// Attaches `trace_id` as the exemplar if `micros` is the slowest
+  /// sample offered so far. Does not record into the distribution.
+  void OfferExemplar(uint64_t micros, uint64_t trace_id) {
+    if (trace_id == 0) return;
+    if (micros < exemplar_us_.load(std::memory_order_relaxed)) return;
+    exemplar_us_.store(micros, std::memory_order_relaxed);
+    exemplar_trace_.store(trace_id, std::memory_order_relaxed);
+  }
+
+  uint64_t exemplar_us() const {
+    return exemplar_us_.load(std::memory_order_relaxed);
+  }
+  uint64_t exemplar_trace() const {
+    return exemplar_trace_.load(std::memory_order_relaxed);
+  }
+
   /// Underlying histogram, for components instrumented with raw
   /// LatencyHistogram pointers (ThreadPool).
   rlscommon::LatencyHistogram* raw() { return &hist_; }
 
  private:
   rlscommon::LatencyHistogram hist_;
+  std::atomic<uint64_t> exemplar_us_{0};
+  std::atomic<uint64_t> exemplar_trace_{0};
 };
 
 enum class MetricKind : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
@@ -77,6 +100,8 @@ struct Sample {
   MetricKind kind = MetricKind::kCounter;
   double value = 0;  // counter / gauge value
   rlscommon::LatencyHistogram::Snapshot hist;  // histogram kind only
+  uint64_t exemplar_us = 0;     // histogram kind only; 0 = no exemplar
+  uint64_t exemplar_trace = 0;  // trace id of the slowest sample
 };
 
 struct Snapshot {

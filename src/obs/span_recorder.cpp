@@ -1,0 +1,221 @@
+#include "obs/span_recorder.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace obs {
+
+SpanRecorder& SpanRecorder::Global() {
+  static SpanRecorder* recorder = new SpanRecorder();  // never destroyed
+  return *recorder;
+}
+
+void SpanRecorder::Enable(std::size_t capacity) {
+  capacity = std::max<std::size_t>(capacity, 8);
+  // Every shard must hold the same slot count or round-robin placement
+  // would no longer evict in global FIFO order.
+  const std::size_t per_shard = (capacity + kShards - 1) / kShards;
+  // Lock all shards in index order (Record only ever takes one).
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kShards);
+  for (Shard& shard : shards_) locks.emplace_back(shard.mu);
+  if (shards_[0].ring.size() != per_shard) {
+    for (Shard& shard : shards_) {
+      shard.ring.clear();
+      shard.ring.resize(per_shard);
+      shard.seqs.assign(per_shard, kEmptySlot);
+      shard.written = 0;
+      shard.dropped = 0;
+      shard.slow_log.clear();
+    }
+    next_.store(0, std::memory_order_relaxed);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void SpanRecorder::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void SpanRecorder::Clear() {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kShards);
+  for (Shard& shard : shards_) locks.emplace_back(shard.mu);
+  for (Shard& shard : shards_) {
+    for (CompletedSpan& slot : shard.ring) slot = CompletedSpan{};
+    std::fill(shard.seqs.begin(), shard.seqs.end(), kEmptySlot);
+    shard.written = 0;
+    shard.dropped = 0;
+    shard.slow_log.clear();
+  }
+}
+
+void SpanRecorder::Record(CompletedSpan span) {
+  if (!enabled()) return;
+  // Everything expensive happens before the shard lock: the slow-log key
+  // and the sequence fetch. The critical section is a map probe plus two
+  // moves, and concurrent recorders take different shard mutexes.
+  std::string key = span.component + ":" + span.name;
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shards_[seq % kShards];
+  CompletedSpan evicted;  // freed after the lock is released
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.ring.empty()) return;  // enabled raced with a Disable+reset
+    // Slow log first: find this span's bucket and insert if it beats the
+    // current K-th slowest (buckets are sorted slowest-first).
+    std::vector<CompletedSpan>& bucket = shard.slow_log[key];
+    if (bucket.size() < kSlowLogPerKey ||
+        span.duration_us > bucket.back().duration_us) {
+      auto pos = std::upper_bound(
+          bucket.begin(), bucket.end(), span.duration_us,
+          [](uint64_t d, const CompletedSpan& s) { return d > s.duration_us; });
+      bucket.insert(pos, span);
+      if (bucket.size() > kSlowLogPerKey) bucket.pop_back();
+    }
+    const std::size_t slot = (seq / kShards) % shard.ring.size();
+    if (shard.seqs[slot] != kEmptySlot) ++shard.dropped;
+    evicted = std::move(shard.ring[slot]);
+    shard.ring[slot] = std::move(span);
+    shard.seqs[slot] = seq;
+    ++shard.written;
+  }
+}
+
+std::vector<CompletedSpan> SpanRecorder::Query(const TraceFilter& filter) const {
+  auto matches = [&](const CompletedSpan& s) {
+    if (s.span_id == 0 && s.trace_id == 0 && s.name.empty()) return false;
+    if (filter.trace_id != 0 && s.trace_id != filter.trace_id) return false;
+    if (!filter.name.empty() && s.name != filter.name) return false;
+    if (!filter.component.empty() && s.component != filter.component) return false;
+    return s.duration_us >= filter.min_duration_us;
+  };
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kShards);
+  for (const Shard& shard : shards_) locks.emplace_back(shard.mu);
+  std::vector<CompletedSpan> out;
+  if (filter.slow_log) {
+    // Re-merge the per-shard top-K buckets so each (component, name) key
+    // still surfaces at most kSlowLogPerKey spans overall.
+    std::map<std::string, std::vector<CompletedSpan>> merged;
+    for (const Shard& shard : shards_) {
+      for (const auto& [key, bucket] : shard.slow_log) {
+        std::vector<CompletedSpan>& into = merged[key];
+        for (const CompletedSpan& s : bucket) {
+          if (matches(s)) into.push_back(s);
+        }
+      }
+    }
+    for (auto& [key, bucket] : merged) {
+      std::sort(bucket.begin(), bucket.end(),
+                [](const CompletedSpan& a, const CompletedSpan& b) {
+                  return a.duration_us > b.duration_us;
+                });
+      if (bucket.size() > kSlowLogPerKey) bucket.resize(kSlowLogPerKey);
+      for (CompletedSpan& s : bucket) out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CompletedSpan& a, const CompletedSpan& b) {
+                return a.duration_us > b.duration_us;
+              });
+    if (filter.limit > 0 && out.size() > filter.limit) out.resize(filter.limit);
+    return out;
+  }
+  // Gather matches with their global sequence, then sort newest first.
+  std::vector<std::pair<uint64_t, const CompletedSpan*>> held;
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < shard.ring.size(); ++i) {
+      if (shard.seqs[i] == kEmptySlot) continue;
+      if (!matches(shard.ring[i])) continue;
+      held.emplace_back(shard.seqs[i], &shard.ring[i]);
+    }
+  }
+  std::sort(held.begin(), held.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (filter.limit > 0 && held.size() > filter.limit) held.resize(filter.limit);
+  out.reserve(held.size());
+  for (const auto& [seq, span] : held) out.push_back(*span);
+  return out;
+}
+
+SpanRecorder::Stats SpanRecorder::GetStats() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(kShards);
+  for (const Shard& shard : shards_) locks.emplace_back(shard.mu);
+  Stats stats;
+  for (const Shard& shard : shards_) {
+    stats.capacity += shard.ring.size();
+    stats.depth += std::min<uint64_t>(shard.written, shard.ring.size());
+    stats.recorded += shard.written;
+    stats.dropped += shard.dropped;
+  }
+  return stats;
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out->push_back(c);
+  }
+}
+
+/// One Chrome trace-event "X" (complete) slice.
+void AppendEvent(std::string* out, bool* first, const std::string& name,
+                 const std::string& cat, int64_t ts_us, uint64_t dur_us,
+                 uint32_t tid, uint64_t trace_id, uint64_t span_id) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  *out += "{\"name\": \"";
+  AppendJsonEscaped(out, name);
+  *out += "\", \"cat\": \"";
+  AppendJsonEscaped(out, cat);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "\", \"ph\": \"X\", \"ts\": %" PRId64 ", \"dur\": %" PRIu64
+                ", \"pid\": 1, \"tid\": %" PRIu32
+                ", \"args\": {\"trace\": \"%016" PRIx64
+                "\", \"span\": \"%016" PRIx64 "\"}}",
+                ts_us, dur_us, tid, trace_id, span_id);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string SpanRecorder::RenderChromeTrace() const {
+  TraceFilter all;
+  std::vector<CompletedSpan> spans = Query(all);
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for (const CompletedSpan& s : spans) {
+    AppendEvent(&out, &first, s.name, s.component, s.start_us, s.duration_us,
+                s.tid, s.trace_id, s.span_id);
+    // Stage slices: the interval between consecutive hops (the first
+    // covers [start, hop0]). Same tid => the viewer nests them under the
+    // span by containment; args.span ties them back for tooling.
+    uint64_t prev = 0;
+    for (const auto& [what, offset_us] : s.hops) {
+      const uint64_t begin = std::min(prev, offset_us);
+      AppendEvent(&out, &first, what, "stage", s.start_us + static_cast<int64_t>(begin),
+                  offset_us - begin, s.tid, s.trace_id, s.span_id);
+      prev = offset_us;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+rlscommon::Status SpanRecorder::ExportChromeTrace(const std::string& path) const {
+  const std::string body = RenderChromeTrace();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return rlscommon::Status::Internal("cannot open trace file " + path);
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return rlscommon::Status::Internal("short write to trace file " + path);
+  }
+  return rlscommon::Status::Ok();
+}
+
+}  // namespace obs

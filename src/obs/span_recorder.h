@@ -1,0 +1,130 @@
+// Flight recorder for completed spans.
+//
+// A bounded per-process ring buffer capturing every completed obs::Span:
+// component, name, trace/span ids, thread, start time, duration, and the
+// named hop timestamps that decompose the span into stages. When the
+// ring wraps, the oldest span is overwritten and a dropped counter
+// ticks — drops are visible, never silent. A per-(component, name)
+// top-K slow log survives wrap-around so the worst requests of a storm
+// can still be fetched minutes later.
+//
+// The recorder is process-global (SpanRecorder::Global()) because spans
+// complete on arbitrary threads deep inside layers that have no handle
+// to a server. Disabled (the default), a completed span costs one
+// relaxed atomic load. Enabled, a global sequence counter assigns each
+// span a slot round-robin across kShards independently-locked sub-rings,
+// so concurrent workers almost never contend on the same mutex; because
+// the shard is seq % kShards and every shard has the same capacity, the
+// sharded ring evicts in exactly global FIFO order and Query() can
+// reconstruct newest-first order from the stored sequence numbers.
+// Query() and ExportChromeTrace() lock all shards — monitoring paths,
+// not hot ones.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace obs {
+
+/// One finished span as the recorder stores it. Hop times are offsets
+/// from the span start, in microseconds, in stamp order.
+struct CompletedSpan {
+  std::string component;
+  std::string name;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint32_t tid = 0;
+  int64_t start_us = 0;  // process steady clock, microseconds
+  uint64_t duration_us = 0;
+  std::vector<std::pair<std::string, uint64_t>> hops;
+};
+
+/// Query filter; zero/empty fields match everything.
+struct TraceFilter {
+  uint64_t trace_id = 0;
+  std::string name;       // exact span name, e.g. the rpc method
+  std::string component;  // exact component, e.g. "rpc", "update"
+  uint64_t min_duration_us = 0;
+  uint32_t limit = 0;     // 0 = unlimited
+  bool slow_log = false;  // query the top-K slow log instead of the ring
+};
+
+class SpanRecorder {
+ public:
+  /// The process-wide recorder all spans report to.
+  static SpanRecorder& Global();
+
+  SpanRecorder() = default;
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  /// Starts capturing with a ring of `capacity` spans (clamped to >= 8
+  /// and rounded up to a multiple of kShards). Re-enabling with a
+  /// different capacity resizes and clears the ring.
+  void Enable(std::size_t capacity);
+
+  /// Stops capturing; the captured spans stay queryable.
+  void Disable();
+
+  /// Drops all captured spans and counters (tests; keeps enabled state).
+  void Clear();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one completed span; overwrites the oldest when full.
+  /// No-op while disabled.
+  void Record(CompletedSpan span);
+
+  /// Matching spans, newest first.
+  std::vector<CompletedSpan> Query(const TraceFilter& filter) const;
+
+  struct Stats {
+    uint64_t depth = 0;     // spans currently held in the ring
+    uint64_t capacity = 0;  // ring capacity
+    uint64_t recorded = 0;  // spans recorded since Enable/Clear
+    uint64_t dropped = 0;   // spans overwritten by wrap-around
+  };
+  Stats GetStats() const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}): one complete
+  /// ("X") event per span plus one child slice per stage (the interval
+  /// between consecutive hops), loadable in Perfetto / chrome://tracing.
+  std::string RenderChromeTrace() const;
+
+  /// RenderChromeTrace() to a file (truncates).
+  rlscommon::Status ExportChromeTrace(const std::string& path) const;
+
+  /// Spans kept per (component, name) slow-log bucket.
+  static constexpr std::size_t kSlowLogPerKey = 8;
+
+  /// Independently-locked sub-rings the capacity is split across.
+  static constexpr std::size_t kShards = 8;
+
+ private:
+  /// Sentinel for a ring slot that has never been written.
+  static constexpr uint64_t kEmptySlot = ~uint64_t{0};
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<CompletedSpan> ring;  // slot = (seq / kShards) % ring.size()
+    std::vector<uint64_t> seqs;       // global sequence per slot, kEmptySlot if none
+    uint64_t written = 0;             // spans written since Enable/Clear
+    uint64_t dropped = 0;             // spans this shard overwrote
+    // Top-K slowest per "component:name", sorted slowest-first. Kept per
+    // shard so Record() never takes a global lock; Query() re-merges.
+    std::map<std::string, std::vector<CompletedSpan>> slow_log;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_{0};  // global sequence; shard = seq % kShards
+  Shard shards_[kShards];
+};
+
+}  // namespace obs

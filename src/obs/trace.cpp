@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/span_recorder.h"
 
 namespace obs {
 
@@ -35,11 +36,24 @@ std::chrono::microseconds GetSlowSpanThreshold() {
   return std::chrono::microseconds(g_slow_span_us.load(std::memory_order_relaxed));
 }
 
+bool TracingActive() {
+  return SpanRecorder::Global().enabled() ||
+         g_slow_span_us.load(std::memory_order_relaxed) > 0;
+}
+
 Span::Span(std::string_view component, std::string_view name)
+    : Span(component, name, std::chrono::steady_clock::now()) {}
+
+Span::Span(std::string_view component, std::string_view name,
+           std::chrono::steady_clock::time_point start)
     : component_(component),
       name_(name),
       context_(CurrentTrace()),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(start),
+      saved_slot_(rlscommon::MutableCurrentHopSlot()) {
+  hops_.reserve(8);  // the full RPC lifecycle fits; no mid-request growth
+  rlscommon::MutableCurrentHopSlot() = {this, &Span::AmbientStamp};
+}
 
 std::chrono::nanoseconds Span::Elapsed() const {
   return std::chrono::steady_clock::now() - start_;
@@ -49,24 +63,85 @@ void Span::Hop(std::string_view what) {
   hops_.emplace_back(std::string(what), Elapsed());
 }
 
+void Span::Hop(std::string_view what, std::chrono::steady_clock::time_point at) {
+  auto offset = at - start_;
+  if (offset < std::chrono::nanoseconds::zero()) {
+    offset = std::chrono::nanoseconds::zero();
+  }
+  hops_.emplace_back(std::string(what), offset);
+}
+
+void Span::End(std::string_view what) {
+  end_ = std::chrono::steady_clock::now();
+  hops_.emplace_back(std::string(what), end_ - start_);
+}
+
+void Span::AmbientStamp(void* span, std::string_view what) {
+  Span* self = static_cast<Span*>(span);
+  const auto now = self->Elapsed();
+  // Bound ambient growth: past the cap, refresh the previous same-named
+  // hop (a bulk op's trailing db_txn/wal_sync stamps collapse) and drop
+  // the rest. Explicit Hop() calls are not subject to the cap.
+  if (self->hops_.size() >= kMaxAmbientHops) {
+    if (!self->hops_.empty() && self->hops_.back().first == what) {
+      self->hops_.back().second = now;
+    }
+    return;
+  }
+  self->hops_.emplace_back(std::string(what), now);
+}
+
 Span::~Span() {
+  // Restore the outer span (or none) as the thread's ambient hop sink.
+  rlscommon::MutableCurrentHopSlot() = saved_slot_;
+
+  SpanRecorder& recorder = SpanRecorder::Global();
+  const bool record = recorder.enabled();
   const int64_t threshold_us = g_slow_span_us.load(std::memory_order_relaxed);
-  if (threshold_us <= 0) return;
-  const auto elapsed = Elapsed();
+  if (!record && threshold_us <= 0) return;
+
+  const auto elapsed =
+      end_ != std::chrono::steady_clock::time_point{} ? end_ - start_ : Elapsed();
   const int64_t elapsed_us =
       std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
-  if (elapsed_us < threshold_us) return;
+
+  if (record) {
+    CompletedSpan done;
+    done.component = component_;
+    done.name = name_;
+    done.trace_id = context_.trace_id;
+    done.span_id = context_.span_id;
+    done.tid = rlscommon::DenseThreadId();
+    done.start_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        start_.time_since_epoch())
+                        .count();
+    done.duration_us = elapsed_us >= 0 ? static_cast<uint64_t>(elapsed_us) : 0;
+    done.hops.reserve(hops_.size());
+    for (const auto& [what, at] : hops_) {
+      const int64_t off =
+          std::chrono::duration_cast<std::chrono::microseconds>(at).count();
+      done.hops.emplace_back(what, off >= 0 ? static_cast<uint64_t>(off) : 0);
+    }
+    recorder.Record(std::move(done));
+  }
+
+  if (threshold_us <= 0 || elapsed_us < threshold_us) return;
   if (!RLS_LOG_ENABLED(rlscommon::LogLevel::kWarn)) return;
+  // An overload storm makes every span slow; without a bucket the WARN
+  // path would turn the tracer into a log flood aimed at ourselves.
+  static rlscommon::LogRateLimiter limiter(/*per_second=*/10, /*burst=*/20);
   // The destructor may run after ScopedTrace restored the caller's
   // context; reinstall the span's own context so the line carries it.
   ScopedTrace scope(context_);
-  rlscommon::internal::LogMessage line(rlscommon::LogLevel::kWarn, component_);
-  line << "slow span " << name_ << " took " << elapsed_us << "us (threshold "
-       << threshold_us << "us)";
+  std::string msg = "slow span " + name_ + " took " + std::to_string(elapsed_us) +
+                    "us (threshold " + std::to_string(threshold_us) + "us)";
   for (const auto& [what, at] : hops_) {
-    line << " " << what << "=+"
-         << std::chrono::duration_cast<std::chrono::microseconds>(at).count() << "us";
+    msg += " " + what + "=+" +
+           std::to_string(
+               std::chrono::duration_cast<std::chrono::microseconds>(at).count()) +
+           "us";
   }
+  RLS_WARN_RATELIMITED(component_, limiter) << msg;
 }
 
 }  // namespace obs

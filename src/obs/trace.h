@@ -56,12 +56,24 @@ class ScopedTrace {
 void SetSlowSpanThreshold(std::chrono::microseconds threshold);
 std::chrono::microseconds GetSlowSpanThreshold();
 
-/// One timed hop under the current trace context. Cheap when below the
-/// slow threshold: two clock reads and (if any) a small vector.
+/// True when completed spans go somewhere: the flight recorder is
+/// enabled or the slow-span WARN threshold is set. Callers on hot paths
+/// gate span construction on this (two relaxed atomic loads).
+bool TracingActive();
+
+/// One timed hop under the current trace context. On destruction the
+/// span reports to the SpanRecorder (when enabled) and logs at WARN
+/// (rate-limited) when slower than the slow-span threshold. While alive
+/// it is the thread's ambient hop sink: rlscommon::StampHop() from any
+/// lower layer stamps a named stage timestamp onto the innermost span.
 class Span {
  public:
   /// `component` and `name` appear in the WARN line ("rli", "ss_bloom").
   Span(std::string_view component, std::string_view name);
+  /// Starts the span at an earlier, already-recorded instant (e.g. the
+  /// transport receive time) instead of now.
+  Span(std::string_view component, std::string_view name,
+       std::chrono::steady_clock::time_point start);
   ~Span();
 
   Span(const Span&) = delete;
@@ -69,15 +81,36 @@ class Span {
 
   /// Records a named intermediate timestamp ("wal_write", "db_commit").
   void Hop(std::string_view what);
+  /// Records a hop at an explicit instant (>= start; pre-recorded
+  /// timestamps like the admission decision time).
+  void Hop(std::string_view what, std::chrono::steady_clock::time_point at);
+  /// Stamps a final hop and freezes the span's duration at that same
+  /// instant: bookkeeping between End() and destruction (stage metric
+  /// updates, a preemption after the reply was sent) is not billed to
+  /// the request, so the stage slices tile the whole reported span.
+  void End(std::string_view what);
 
   std::chrono::nanoseconds Elapsed() const;
 
+  const std::vector<std::pair<std::string, std::chrono::nanoseconds>>& hops() const {
+    return hops_;
+  }
+
+  /// Ambient hops (StampHop) beyond this many merge into the previous
+  /// same-named hop or are dropped, so a bulk operation stamping per
+  /// statement cannot grow a span without bound.
+  static constexpr std::size_t kMaxAmbientHops = 64;
+
  private:
+  static void AmbientStamp(void* span, std::string_view what);
+
   std::string component_;
   std::string name_;
   TraceContext context_;
   std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point end_{};  // epoch = still open
   std::vector<std::pair<std::string, std::chrono::nanoseconds>> hops_;
+  rlscommon::HopSlot saved_slot_;
 };
 
 }  // namespace obs

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/trace_context.h"
 
 namespace rdb {
 
@@ -56,6 +57,9 @@ rlscommon::Status Wal::Commit(std::string_view payload, bool durable,
     if (fd_ >= 0) ::fdatasync(fd_);
     syncs_.fetch_add(1, std::memory_order_relaxed);
     if (penalty.count() > 0) std::this_thread::sleep_for(penalty);
+    // Stage stamp on the ambient request span: everything since the
+    // db_txn stamp (taken before this commit) was spent syncing.
+    rlscommon::StampHop("wal_sync");
   }
   return rlscommon::Status::Ok();
 }

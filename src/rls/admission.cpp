@@ -21,6 +21,7 @@ bool IsPriorityOp(uint16_t opcode) {
     case kServerStats:
     case kServerMetrics:
     case kServerGetStats:
+    case kServerGetTraces:
     case kLrcRliList:
     case kLrcRliAdd:
     case kLrcRliRemove:

@@ -310,6 +310,15 @@ Status LrcClient::GetStats(GetStatsResponse* stats) {
   return GetStatsResponse::Decode(response, stats);
 }
 
+Status LrcClient::GetTraces(const GetTracesRequest& filter,
+                            GetTracesResponse* traces) {
+  std::string request, response;
+  filter.Encode(&request);
+  Status s = rpc_->Call(kServerGetTraces, request, &response);
+  if (!s.ok()) return s;
+  return GetTracesResponse::Decode(response, traces);
+}
+
 Status RliClient::Connect(net::Network* network, const std::string& address,
                           const ClientConfig& config, std::unique_ptr<RliClient>* out) {
   std::unique_ptr<net::RpcClient> rpc;
@@ -392,6 +401,15 @@ Status RliClient::GetStats(GetStatsResponse* stats) {
   Status s = rpc_->Call(kServerGetStats, "", &response);
   if (!s.ok()) return s;
   return GetStatsResponse::Decode(response, stats);
+}
+
+Status RliClient::GetTraces(const GetTracesRequest& filter,
+                            GetTracesResponse* traces) {
+  std::string request, response;
+  filter.Encode(&request);
+  Status s = rpc_->Call(kServerGetTraces, request, &response);
+  if (!s.ok()) return s;
+  return GetTracesResponse::Decode(response, traces);
 }
 
 }  // namespace rls

@@ -107,6 +107,9 @@ class LrcClient {
   rlscommon::Status Metrics(MetricsResponse* metrics);
   /// Full introspection snapshot (requires the kStats privilege).
   rlscommon::Status GetStats(GetStatsResponse* stats);
+  /// Flight-recorder dump (requires the kStats privilege).
+  rlscommon::Status GetTraces(const GetTracesRequest& filter,
+                              GetTracesResponse* traces);
 
  private:
   explicit LrcClient(std::unique_ptr<net::RpcClient> rpc) : rpc_(std::move(rpc)) {}
@@ -146,6 +149,9 @@ class RliClient {
   rlscommon::Status Stats(ServerStats* stats);
   /// Full introspection snapshot (requires the kStats privilege).
   rlscommon::Status GetStats(GetStatsResponse* stats);
+  /// Flight-recorder dump (requires the kStats privilege).
+  rlscommon::Status GetTraces(const GetTracesRequest& filter,
+                              GetTracesResponse* traces);
 
  private:
   explicit RliClient(std::unique_ptr<net::RpcClient> rpc) : rpc_(std::move(rpc)) {}

@@ -13,6 +13,7 @@ std::string OpName(uint16_t opcode) {
     case kServerStats: return "server_stats";
     case kServerMetrics: return "server_metrics";
     case kServerGetStats: return "server_get_stats";
+    case kServerGetTraces: return "server_get_traces";
     case kLrcCreate: return "lrc_create";
     case kLrcAdd: return "lrc_add";
     case kLrcDelete: return "lrc_delete";
@@ -496,6 +497,7 @@ void GetStatsResponse::Encode(std::string* out) const {
   Writer w(out);
   w.Str(role);
   w.F64(uptime_seconds);
+  w.Str(build_flags);
   w.U64(vitals.lfn_count);
   w.U64(vitals.mapping_count);
   w.U64(vitals.requests_served);
@@ -504,6 +506,9 @@ void GetStatsResponse::Encode(std::string* out) const {
   w.U64(vitals.bloom_filters);
   w.U64(vitals.requests_shed);
   w.U64(last_update_trace_id);
+  w.U64(trace_depth);
+  w.U64(trace_dropped);
+  w.U64(trace_capacity);
   w.U32(static_cast<uint32_t>(targets.size()));
   for (const TargetStatus& t : targets) t.Encode(&w);
   w.U32(static_cast<uint32_t>(metrics.size()));
@@ -519,18 +524,22 @@ void GetStatsResponse::Encode(std::string* out) const {
     w.U64(m.p99_us);
     w.U64(m.p999_us);
     w.U64(m.max_us);
+    w.U64(m.exemplar_us);
+    w.U64(m.exemplar_trace);
   }
 }
 
 Status GetStatsResponse::Decode(std::string_view data, GetStatsResponse* out) {
   Reader r(data);
   if (!r.Str(&out->role) || !r.F64(&out->uptime_seconds) ||
+      !r.Str(&out->build_flags) ||
       !r.U64(&out->vitals.lfn_count) || !r.U64(&out->vitals.mapping_count) ||
       !r.U64(&out->vitals.requests_served) ||
       !r.U64(&out->vitals.updates_received) ||
       !r.U64(&out->vitals.updates_sent) || !r.U64(&out->vitals.bloom_filters) ||
       !r.U64(&out->vitals.requests_shed) ||
-      !r.U64(&out->last_update_trace_id)) {
+      !r.U64(&out->last_update_trace_id) || !r.U64(&out->trace_depth) ||
+      !r.U64(&out->trace_dropped) || !r.U64(&out->trace_capacity)) {
     return TruncatedMessage("get stats header");
   }
   uint32_t target_count = 0;
@@ -547,7 +556,7 @@ Status GetStatsResponse::Decode(std::string_view data, GetStatsResponse* out) {
   }
   uint32_t metric_count = 0;
   if (!r.U32(&metric_count)) return TruncatedMessage("metric count");
-  if (static_cast<uint64_t>(metric_count) * 73 > r.remaining()) {
+  if (static_cast<uint64_t>(metric_count) * 89 > r.remaining()) {
     return TruncatedMessage("metric list");
   }
   out->metrics.clear();
@@ -557,10 +566,91 @@ Status GetStatsResponse::Decode(std::string_view data, GetStatsResponse* out) {
     if (!r.Str(&m.name) || !r.Str(&m.labels) || !r.U8(&m.kind) ||
         !r.F64(&m.value) || !r.U64(&m.count) || !r.F64(&m.mean_us) ||
         !r.U64(&m.p50_us) || !r.U64(&m.p95_us) || !r.U64(&m.p99_us) ||
-        !r.U64(&m.p999_us) || !r.U64(&m.max_us)) {
+        !r.U64(&m.p999_us) || !r.U64(&m.max_us) || !r.U64(&m.exemplar_us) ||
+        !r.U64(&m.exemplar_trace)) {
       return TruncatedMessage("metric sample");
     }
     out->metrics.push_back(std::move(m));
+  }
+  return Status::Ok();
+}
+
+void GetTracesRequest::Encode(std::string* out) const {
+  Writer w(out);
+  w.U64(trace_id);
+  w.Str(method);
+  w.Str(component);
+  w.U64(min_duration_us);
+  w.U32(limit);
+  w.U8(source);
+}
+
+Status GetTracesRequest::Decode(std::string_view data, GetTracesRequest* out) {
+  Reader r(data);
+  if (!r.U64(&out->trace_id) || !r.Str(&out->method) ||
+      !r.Str(&out->component) || !r.U64(&out->min_duration_us) ||
+      !r.U32(&out->limit) || !r.U8(&out->source)) {
+    return TruncatedMessage("get traces request");
+  }
+  return Status::Ok();
+}
+
+void GetTracesResponse::Encode(std::string* out) const {
+  Writer w(out);
+  w.U64(depth);
+  w.U64(dropped);
+  w.U64(capacity);
+  w.U32(static_cast<uint32_t>(spans.size()));
+  for (const TraceSpan& s : spans) {
+    w.Str(s.component);
+    w.Str(s.name);
+    w.U64(s.trace_id);
+    w.U64(s.span_id);
+    w.U32(s.tid);
+    w.I64(s.start_us);
+    w.U64(s.duration_us);
+    w.U32(static_cast<uint32_t>(s.hops.size()));
+    for (const TraceHop& h : s.hops) {
+      w.Str(h.name);
+      w.U64(h.offset_us);
+    }
+  }
+}
+
+Status GetTracesResponse::Decode(std::string_view data, GetTracesResponse* out) {
+  Reader r(data);
+  if (!r.U64(&out->depth) || !r.U64(&out->dropped) || !r.U64(&out->capacity)) {
+    return TruncatedMessage("get traces header");
+  }
+  uint32_t span_count = 0;
+  if (!r.U32(&span_count)) return TruncatedMessage("span count");
+  // Each span is at least 44 bytes (4+4 string lengths, 3x u64, u32,
+  // i64, u32 hop count); reject counts the payload cannot hold.
+  if (static_cast<uint64_t>(span_count) * 44 > r.remaining()) {
+    return TruncatedMessage("span list");
+  }
+  out->spans.clear();
+  out->spans.reserve(span_count);
+  for (uint32_t i = 0; i < span_count; ++i) {
+    TraceSpan s;
+    uint32_t hop_count = 0;
+    if (!r.Str(&s.component) || !r.Str(&s.name) || !r.U64(&s.trace_id) ||
+        !r.U64(&s.span_id) || !r.U32(&s.tid) || !r.I64(&s.start_us) ||
+        !r.U64(&s.duration_us) || !r.U32(&hop_count)) {
+      return TruncatedMessage("trace span");
+    }
+    if (static_cast<uint64_t>(hop_count) * 12 > r.remaining()) {
+      return TruncatedMessage("hop list");
+    }
+    s.hops.reserve(hop_count);
+    for (uint32_t h = 0; h < hop_count; ++h) {
+      TraceHop hop;
+      if (!r.Str(&hop.name) || !r.U64(&hop.offset_us)) {
+        return TruncatedMessage("trace hop");
+      }
+      s.hops.push_back(std::move(hop));
+    }
+    out->spans.push_back(std::move(s));
   }
   return Status::Ok();
 }

@@ -21,6 +21,7 @@ enum Op : uint16_t {
   kServerStats = 2,
   kServerMetrics = 3,   // per-operation-family latency histograms
   kServerGetStats = 4,  // full introspection snapshot (requires kStats)
+  kServerGetTraces = 5, // flight-recorder dump (requires kStats)
 
   // --- LRC mapping management (Table 1) ---
   kLrcCreate = 10,      // create lfn and its first mapping
@@ -270,6 +271,10 @@ struct MetricSample {
   uint64_t p99_us = 0;
   uint64_t p999_us = 0;
   uint64_t max_us = 0;
+  // Histogram exemplar: trace id of the slowest sample (0 = none) —
+  // feed it to GetTraces to pull the matching span from the recorder.
+  uint64_t exemplar_us = 0;
+  uint64_t exemplar_trace = 0;
 };
 
 /// Per-RLI-target soft-state freshness (LRC/combined servers only).
@@ -290,13 +295,71 @@ struct TargetStatus {
 struct GetStatsResponse {
   std::string role;  // "lrc", "rli", "lrc+rli"
   double uptime_seconds = 0;
+  /// Compile-time build description ("release", "debug+tsan", ...) so a
+  /// reader knows whether the numbers came from a sanitizer build.
+  std::string build_flags;
   ServerStats vitals;
   uint64_t last_update_trace_id = 0;  // trace of last soft-state update received
+  // Span-recorder vitals (process-global flight recorder). Dropped spans
+  // are surfaced here so wrap-around losses are visible, never silent.
+  uint64_t trace_depth = 0;
+  uint64_t trace_dropped = 0;
+  uint64_t trace_capacity = 0;
   std::vector<TargetStatus> targets;
   std::vector<MetricSample> metrics;
 
   void Encode(std::string* out) const;
   static rlscommon::Status Decode(std::string_view data, GetStatsResponse* out);
+};
+
+// ---------------------------------------------------------------------
+// Flight recorder (kServerGetTraces). Wire form of the span recorder's
+// query interface; requires the kStats privilege.
+// ---------------------------------------------------------------------
+
+/// GetTracesRequest::source values.
+inline constexpr uint8_t kTraceSourceRing = 0;
+inline constexpr uint8_t kTraceSourceSlowLog = 1;
+
+/// Filter for the flight-recorder dump; zero/empty fields match all.
+struct GetTracesRequest {
+  uint64_t trace_id = 0;        // exact trace id (0 = any)
+  std::string method;           // exact span name, e.g. "lrc_add"
+  std::string component;        // exact component, e.g. "rpc", "update"
+  uint64_t min_duration_us = 0;
+  uint32_t limit = 0;           // 0 = unlimited
+  uint8_t source = 0;           // 0 = ring buffer, 1 = top-K slow log
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, GetTracesRequest* out);
+};
+
+/// One named hop: offset from the span start, microseconds.
+struct TraceHop {
+  std::string name;
+  uint64_t offset_us = 0;
+};
+
+/// One recorded span with its stage decomposition.
+struct TraceSpan {
+  std::string component;
+  std::string name;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint32_t tid = 0;
+  int64_t start_us = 0;
+  uint64_t duration_us = 0;
+  std::vector<TraceHop> hops;
+};
+
+struct GetTracesResponse {
+  uint64_t depth = 0;     // spans held in the recorder
+  uint64_t dropped = 0;   // spans lost to wrap-around
+  uint64_t capacity = 0;  // 0 = recorder never enabled
+  std::vector<TraceSpan> spans;  // newest first (slowest first for slow log)
+
+  void Encode(std::string* out) const;
+  static rlscommon::Status Decode(std::string_view data, GetTracesResponse* out);
 };
 
 }  // namespace rls

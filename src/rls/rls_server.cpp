@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "common/build_info.h"
 #include "common/logging.h"
+#include "common/trace_context.h"
+#include "obs/span_recorder.h"
 #include "obs/trace.h"
 
 namespace rls {
@@ -97,6 +100,9 @@ Status RlsServer::Start() {
   if (config_.obs.slow_span_threshold.count() > 0) {
     obs::SetSlowSpanThreshold(config_.obs.slow_span_threshold);
   }
+  if (config_.obs.trace_capacity > 0) {
+    obs::SpanRecorder::Global().Enable(config_.obs.trace_capacity);
+  }
 
   net::ServerOptions options;
   options.name = config_.url;
@@ -189,6 +195,12 @@ void RlsServer::RegisterGauges() {
       return static_cast<double>(rli_bloom_->filter_count());
     });
   }
+  registry_.RegisterCallback("trace_recorder_depth", "", [] {
+    return static_cast<double>(obs::SpanRecorder::Global().GetStats().depth);
+  });
+  registry_.RegisterCallback("trace_recorder_dropped", "", [] {
+    return static_cast<double>(obs::SpanRecorder::Global().GetStats().dropped);
+  });
 }
 
 void RlsServer::UnregisterGauges() {
@@ -198,6 +210,8 @@ void RlsServer::UnregisterGauges() {
   registry_.UnregisterCallback("lrc_mappings", "");
   registry_.UnregisterCallback("rli_associations", "");
   registry_.UnregisterCallback("rli_bloom_filters", "");
+  registry_.UnregisterCallback("trace_recorder_depth", "");
+  registry_.UnregisterCallback("trace_recorder_dropped", "");
 }
 
 std::string RlsServer::RenderStatsJson() const {
@@ -214,9 +228,14 @@ GetStatsResponse RlsServer::GetStatsSnapshot() const {
   resp.role = role();
   resp.uptime_seconds =
       std::chrono::duration<double>(clock_->Now() - start_time_).count();
+  resp.build_flags = rlscommon::BuildDescription();
   resp.vitals = Stats();
   resp.last_update_trace_id =
       last_update_trace_id_.load(std::memory_order_relaxed);
+  const obs::SpanRecorder::Stats rstats = obs::SpanRecorder::Global().GetStats();
+  resp.trace_depth = rstats.depth;
+  resp.trace_dropped = rstats.dropped;
+  resp.trace_capacity = rstats.capacity;
   if (update_manager_) {
     for (const TargetFreshness& f : update_manager_->TargetStatuses()) {
       resp.targets.push_back(TargetStatus{f.address, f.updates_sent,
@@ -241,6 +260,8 @@ GetStatsResponse RlsServer::GetStatsSnapshot() const {
       m.p99_us = sample.hist.p99_us;
       m.p999_us = sample.hist.p999_us;
       m.max_us = sample.hist.max_us;
+      m.exemplar_us = sample.exemplar_us;
+      m.exemplar_trace = sample.exemplar_trace;
     }
     resp.metrics.push_back(std::move(m));
   }
@@ -410,6 +431,43 @@ Status RlsServer::Dispatch(const gsi::AuthContext& auth, uint16_t opcode,
     GetStatsSnapshot().Encode(response);
     return Status::Ok();
   }
+  if (opcode == kServerGetTraces) {
+    Status s = config_.auth.Authorize(auth, gsi::Privilege::kStats);
+    if (!s.ok()) return s;
+    GetTracesRequest req;
+    s = GetTracesRequest::Decode(request, &req);
+    if (!s.ok()) return s;
+    obs::TraceFilter filter;
+    filter.trace_id = req.trace_id;
+    filter.name = req.method;
+    filter.component = req.component;
+    filter.min_duration_us = req.min_duration_us;
+    filter.limit = req.limit;
+    filter.slow_log = req.source == kTraceSourceSlowLog;
+    obs::SpanRecorder& recorder = obs::SpanRecorder::Global();
+    const obs::SpanRecorder::Stats rstats = recorder.GetStats();
+    GetTracesResponse resp;
+    resp.depth = rstats.depth;
+    resp.dropped = rstats.dropped;
+    resp.capacity = rstats.capacity;
+    for (obs::CompletedSpan& span : recorder.Query(filter)) {
+      TraceSpan out;
+      out.component = std::move(span.component);
+      out.name = std::move(span.name);
+      out.trace_id = span.trace_id;
+      out.span_id = span.span_id;
+      out.tid = span.tid;
+      out.start_us = span.start_us;
+      out.duration_us = span.duration_us;
+      out.hops.reserve(span.hops.size());
+      for (auto& [hop_name, offset_us] : span.hops) {
+        out.hops.push_back(TraceHop{std::move(hop_name), offset_us});
+      }
+      resp.spans.push_back(std::move(out));
+    }
+    resp.Encode(response);
+    return Status::Ok();
+  }
   if (opcode >= kLrcCreate && opcode <= kLrcForceUpdate) {
     if (!config_.lrc.enabled) return Status::Unsupported("server has no LRC role");
     return HandleLrc(auth, opcode, request, response);
@@ -457,6 +515,7 @@ Status RlsServer::HandleLrc(const gsi::AuthContext& auth, uint16_t opcode,
       needed = gsi::Privilege::kLrcRead;
   }
   Status s = config_.auth.Authorize(auth, needed);
+  rlscommon::StampHop("auth");
   if (!s.ok()) return s;
 
   switch (opcode) {
@@ -655,6 +714,7 @@ Status RlsServer::HandleLrc(const gsi::AuthContext& auth, uint16_t opcode,
 Status RlsServer::HandleRli(const gsi::AuthContext& auth, uint16_t opcode,
                             const std::string& request, std::string* response) {
   Status s = config_.auth.Authorize(auth, gsi::Privilege::kRliRead);
+  rlscommon::StampHop("auth");
   if (!s.ok()) return s;
 
   switch (opcode) {
@@ -741,6 +801,7 @@ Status RlsServer::HandleSoftState(const gsi::AuthContext& auth, uint16_t opcode,
                                   const std::string& request, std::string* response) {
   (void)response;
   Status s = config_.auth.Authorize(auth, gsi::Privilege::kRliWrite);
+  rlscommon::StampHop("auth");
   if (!s.ok()) return s;
 
   const int64_t now_micros = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -758,6 +819,8 @@ Status RlsServer::HandleSoftState(const gsi::AuthContext& auth, uint16_t opcode,
     if (trace.valid()) {
       last_update_trace_id_.store(trace.trace_id, std::memory_order_relaxed);
     }
+    // Stage stamp: everything since the last hop was soft-state ingest.
+    rlscommon::StampHop("rli_ingest");
   };
 
   switch (opcode) {
@@ -781,6 +844,7 @@ Status RlsServer::HandleSoftState(const gsi::AuthContext& auth, uint16_t opcode,
       }
       s = rli_relational_->UpsertBatch(req.names, req.lrc_url, now_micros);
       if (!s.ok()) return s;
+      rlscommon::StampHop("rli_ingest");
       ForwardToParents(opcode, request);
       return Status::Ok();
     }

@@ -64,6 +64,10 @@ struct ObsConfig {
   /// Spans slower than this log at WARN with hop timing (0 = disabled).
   /// Process-wide setting, applied at Start().
   std::chrono::microseconds slow_span_threshold{0};
+  /// Capacity of the process-wide span recorder ring (flight recorder).
+  /// 0 = leave the recorder in its current state (off by default).
+  /// Process-wide setting, applied at Start().
+  std::size_t trace_capacity = 0;
 };
 
 struct RlsServerConfig {

@@ -5,6 +5,7 @@
 #include <shared_mutex>
 
 #include "common/strings.h"
+#include "common/trace_context.h"
 #include "sql/parser.h"
 
 namespace sql {
@@ -798,6 +799,10 @@ Status Engine::ExecTxn(const TxnStmt& stmt, Session* session) {
 }
 
 Status Engine::CommitWal(Session* session) {
+  // Stage stamp on the ambient request span: time up to here was the
+  // transaction's parse/plan/execute work; the WAL commit below stamps
+  // wal_sync when it syncs durably.
+  rlscommon::StampHop("db_txn");
   const rdb::BackendProfile& profile = db_->profile();
   Status s = db_->wal().Commit(session->wal_buffer_, profile.durable_flush,
                                profile.durable_flush_penalty);

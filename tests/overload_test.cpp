@@ -15,7 +15,9 @@
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "net/rpc.h"
+#include "obs/span_recorder.h"
 #include "rls/admission.h"
+#include "rls/client.h"
 #include "rls/protocol.h"
 #include "rls/rls_server.h"
 
@@ -275,6 +277,92 @@ TEST(OverloadTest, PriorityLaneSurvivesClientStorm) {
   // And the shed counter made it into the introspection snapshot.
   EXPECT_GT(snapshot.vitals.requests_shed, 0u);
   server.Stop();
+}
+
+TEST(OverloadTest, FlightRecorderShowsQueueWaitDominatingUnderStorm) {
+  // The flight recorder is process-global; start clean and leave clean.
+  obs::SpanRecorder::Global().Enable(4096);
+  obs::SpanRecorder::Global().Clear();
+
+  net::Network network;
+  dbapi::Environment env;
+  RlsServerConfig config;
+  config.address = "rls:tracedstorm";
+  config.lrc.enabled = true;
+  config.lrc.dsn = "mysql://tracedstorm_lrc";
+  ASSERT_TRUE(env.CreateDatabase(config.lrc.dsn).ok());
+  // One worker, a deep queue, no shedding: every admitted request of the
+  // storm spends most of its life waiting for the single worker.
+  config.limits.workers = 1;
+  config.limits.queue_depth = 256;
+  config.obs.trace_capacity = 4096;
+  RlsServer server(&network, config, &env);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::string query;
+  NameQueryRequest req;
+  req.name = "stormed";
+  req.Encode(&query);
+
+  std::vector<std::thread> storm;
+  for (int c = 0; c < 8; ++c) {
+    storm.emplace_back([&] {
+      std::unique_ptr<net::RpcClient> rpc;
+      ASSERT_TRUE(net::RpcClient::Connect(&network, config.address,
+                                          NoRetryClient("/CN=storm"), &rpc)
+                      .ok());
+      for (int i = 0; i < 40; ++i) {
+        std::string response;
+        (void)rpc->Call(kLrcExists, query, &response);
+      }
+    });
+  }
+  for (auto& t : storm) t.join();
+
+  // Post-mortem, over the wire: fetch the storm's slowest lrc_exists
+  // traces from the flight recorder's slow log.
+  std::unique_ptr<LrcClient> admin;
+  ASSERT_TRUE(
+      LrcClient::Connect(&network, config.address, {}, &admin).ok());
+  GetTracesRequest filter;
+  filter.method = "lrc_exists";
+  filter.source = kTraceSourceSlowLog;
+  GetTracesResponse traces;
+  ASSERT_TRUE(admin->GetTraces(filter, &traces).ok());
+  ASSERT_FALSE(traces.spans.empty());
+
+  // The stage breakdown must tell the overload story: among the slowest
+  // storm-era traces, queue_wait (exec start minus admission) dominates
+  // the wall time of at least one. Scanning the returned slow log — not
+  // just the single slowest span — keeps the assertion meaningful on an
+  // oversubscribed CI box, where the very slowest request can owe its
+  // rank to a preemption gap in some other stage.
+  uint64_t best_queue_wait_us = 0, best_duration_us = 0;
+  bool saw_queue_wait = false;
+  for (const TraceSpan& span : traces.spans) {
+    uint64_t admission_us = 0, queue_wait_us = 0;
+    for (const TraceHop& hop : span.hops) {
+      if (hop.name == "admission") admission_us = hop.offset_us;
+      if (hop.name == "queue_wait") {
+        queue_wait_us = hop.offset_us - admission_us;
+        saw_queue_wait = true;
+      }
+    }
+    if (span.duration_us > 0 &&
+        queue_wait_us * best_duration_us >= best_queue_wait_us * span.duration_us) {
+      best_queue_wait_us = queue_wait_us;
+      best_duration_us = span.duration_us;
+    }
+  }
+  ASSERT_TRUE(saw_queue_wait);
+  ASSERT_GT(best_duration_us, 0u);
+  EXPECT_GE(best_queue_wait_us * 2, best_duration_us)
+      << "best queue_wait fraction: " << best_queue_wait_us << "us of "
+      << best_duration_us << "us total";
+
+  server.Stop();
+  obs::SpanRecorder::Global().Disable();
+  obs::SpanRecorder::Global().Clear();
 }
 
 }  // namespace
