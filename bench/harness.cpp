@@ -128,13 +128,16 @@ void Testbed::WriteServerSnapshots() {
   }
   for (auto& server : servers_) {
     const rls::GetStatsResponse snap = server->GetStatsSnapshot();
-    char extra[512];
+    char extra[768];
     std::snprintf(extra, sizeof(extra),
                   "\"server\": \"%s\", \"role\": \"%s\", \"uptime_seconds\": %.3f, "
                   "\"lfn_count\": %llu, \"mapping_count\": %llu, "
                   "\"requests_served\": %llu, \"requests_shed\": %llu, "
                   "\"updates_received\": %llu, "
-                  "\"updates_sent\": %llu, \"bloom_filters\": %llu",
+                  "\"updates_sent\": %llu, \"bloom_filters\": %llu, "
+                  "\"wal_recovery_enabled\": %u, \"wal_recovered_txns\": %llu, "
+                  "\"wal_torn_tail_bytes\": %llu, "
+                  "\"wal_checksum_failures\": %llu",
                   server->url().c_str(), snap.role.c_str(), snap.uptime_seconds,
                   static_cast<unsigned long long>(snap.vitals.lfn_count),
                   static_cast<unsigned long long>(snap.vitals.mapping_count),
@@ -142,7 +145,11 @@ void Testbed::WriteServerSnapshots() {
                   static_cast<unsigned long long>(snap.vitals.requests_shed),
                   static_cast<unsigned long long>(snap.vitals.updates_received),
                   static_cast<unsigned long long>(snap.vitals.updates_sent),
-                  static_cast<unsigned long long>(snap.vitals.bloom_filters));
+                  static_cast<unsigned long long>(snap.vitals.bloom_filters),
+                  static_cast<unsigned>(snap.wal.enabled),
+                  static_cast<unsigned long long>(snap.wal.recovered_txns),
+                  static_cast<unsigned long long>(snap.wal.torn_tail_bytes),
+                  static_cast<unsigned long long>(snap.wal.checksum_failures));
     const std::string line = server->metrics_registry()->RenderJson(extra);
     std::fprintf(f, "%s\n", line.c_str());
   }

@@ -3,8 +3,15 @@
 # under ASan+UBSan, so races like the old HashIndex probe-counter one
 # can't land silently.
 #
-# Usage: scripts/check.sh [plain|thread|address,undefined|trace|bench]...
+# Usage: scripts/check.sh [plain|thread|address,undefined|trace|bench|crash]...
 #   (no arguments = the three sanitizer configurations + trace)
+#
+# The opt-in `crash` config is the crash-safety gate: it builds the
+# tests under ASan+UBSan and runs the full crash matrix
+# (scripts/crash_matrix.sh) — a 1000-transaction seeded workload cut at
+# every commit boundary and at intra-record offsets, recovered and
+# compared against the committed prefix — plus the pinned-seed
+# storage-fault WAL tests and the recovery-idempotence property.
 #
 # The `trace` config is the tracing smoke gate: it runs the fig06 bench
 # with the flight recorder on (RLS_TRACE_JSON), validates the exported
@@ -53,6 +60,16 @@ run_bench_gate() {  # $1 = output mode: "compare" or "rebaseline"
         "$json" --tolerance 0.15
     fi
   done
+}
+
+run_crash_gate() {
+  local dir=build-check-asan
+  echo "=== [crash] configure + build ($dir, ASan+UBSan)"
+  cmake -B "$dir" -S . -DRLS_SANITIZE=address,undefined >/dev/null
+  cmake --build "$dir" -j --target crash_recovery_test rdb_wal_test \
+    rdb_property_test
+  scripts/crash_matrix.sh "$dir" "${RLS_CRASH_TXNS:-1000}" \
+    "${RLS_CRASH_SEED:-42}"
 }
 
 run_trace_gate() {
@@ -113,8 +130,12 @@ for config in "${configs[@]}"; do
       run_bench_gate rebaseline
       continue
       ;;
+    crash)
+      run_crash_gate
+      continue
+      ;;
     *)
-      echo "unknown config '$config' (want plain, thread, address,undefined, trace or bench)" >&2
+      echo "unknown config '$config' (want plain, thread, address,undefined, trace, bench or crash)" >&2
       exit 2
       ;;
   esac

@@ -16,6 +16,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kDatabase: return "DATABASE";
     case ErrorCode::kProtocol: return "PROTOCOL";
     case ErrorCode::kUnsupported: return "UNSUPPORTED";
+    case ErrorCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -30,6 +30,7 @@ enum class ErrorCode {
   kDatabase,        // back-end database reported an error
   kProtocol,        // malformed wire message
   kUnsupported,     // e.g. wildcard query against a Bloom-filter RLI
+  kDataLoss,        // storage fail-stop: WAL write/sync failed, data at risk
 };
 
 /// Human-readable name of an ErrorCode ("NOT_FOUND", ...).
@@ -65,6 +66,7 @@ class [[nodiscard]] Status {
   static Status Database(std::string m) { return {ErrorCode::kDatabase, std::move(m)}; }
   static Status Protocol(std::string m) { return {ErrorCode::kProtocol, std::move(m)}; }
   static Status Unsupported(std::string m) { return {ErrorCode::kUnsupported, std::move(m)}; }
+  static Status DataLoss(std::string m) { return {ErrorCode::kDataLoss, std::move(m)}; }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }

@@ -45,7 +45,8 @@ Status Environment::CreateDatabase(const std::string& dsn, const std::string& wa
 
 Status Environment::CreateDatabaseWithProfile(const std::string& dsn,
                                               rdb::BackendProfile profile,
-                                              const std::string& wal_path) {
+                                              const std::string& wal_path,
+                                              rdb::StorageFaultInjector* fault) {
   rdb::BackendKind kind;
   std::string name;
   Status s = ParseDsn(dsn, &kind, &name);
@@ -54,7 +55,8 @@ Status Environment::CreateDatabaseWithProfile(const std::string& dsn,
   if (databases_.count(dsn)) {
     return Status::AlreadyExists("database already registered: " + dsn);
   }
-  databases_.emplace(dsn, std::make_unique<rdb::Database>(name, profile, wal_path));
+  databases_.emplace(
+      dsn, std::make_unique<rdb::Database>(name, profile, wal_path, fault));
   return Status::Ok();
 }
 

@@ -47,10 +47,13 @@ class Environment {
   rlscommon::Status CreateDatabase(const std::string& dsn,
                                    const std::string& wal_path = "");
 
-  /// Creates with a custom profile (tests tune the flush penalty).
-  rlscommon::Status CreateDatabaseWithProfile(const std::string& dsn,
-                                              rdb::BackendProfile profile,
-                                              const std::string& wal_path = "");
+  /// Creates with a custom profile (tests tune the flush penalty or
+  /// enable WAL recovery). `fault` (optional, tests only) injects storage
+  /// failures into the database's WAL; it must outlive the database.
+  rlscommon::Status CreateDatabaseWithProfile(
+      const std::string& dsn, rdb::BackendProfile profile,
+      const std::string& wal_path = "",
+      rdb::StorageFaultInjector* fault = nullptr);
 
   /// Looks up a registered database; nullptr if absent.
   rdb::Database* Find(const std::string& dsn);

@@ -16,10 +16,26 @@
 
 namespace rdb {
 
+/// What open-time WAL replay did (profile.wal_recovery only). Filled by
+/// Recover(); surfaced as wal_* metrics and in GetStats.
+struct RecoveryStats {
+  bool enabled = false;          // profile had wal_recovery set
+  bool ran = false;              // Recover() completed
+  uint64_t recovered_txns = 0;   // committed transactions replayed
+  uint64_t records_applied = 0;  // row mutations reapplied
+  uint64_t snapshot_rows = 0;    // rows restored from the checkpoint sidecar
+  uint64_t torn_tail_bytes = 0;  // bytes dropped at the torn/corrupt tail
+  uint64_t checksum_failures = 0;
+  uint64_t last_lsn = 0;         // commits continue after this LSN
+  uint64_t recover_micros = 0;   // wall time of the replay
+};
+
 class Database {
  public:
-  /// `wal_path` empty = in-memory accounting only.
-  Database(std::string name, BackendProfile profile, std::string wal_path = "");
+  /// `wal_path` empty = in-memory accounting only. `fault` (optional)
+  /// injects storage failures into the WAL (tests; see storage_fault.h).
+  Database(std::string name, BackendProfile profile, std::string wal_path = "",
+           StorageFaultInjector* fault = nullptr);
 
   const std::string& name() const { return name_; }
   const BackendProfile& profile() const { return profile_; }
@@ -48,12 +64,31 @@ class Database {
   /// VACUUMs every table.
   void VacuumAll();
 
+  /// Open-time WAL replay (profile.wal_recovery): loads the checkpoint
+  /// snapshot if one exists, then reapplies every committed transaction
+  /// the log holds beyond it. Call once, after the schema has been
+  /// recreated (DDL is not logged) and before serving traffic. A second
+  /// call is a no-op — replay is exactly-once per process.
+  rlscommon::Status Recover();
+
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
  private:
+  /// Serializes every table's live rows (checkpoint writer; takes the
+  /// catalog and per-table shared locks).
+  std::string SerializeSnapshot(uint64_t* snapshot_rows);
+
+  /// Reapplies one committed transaction payload during Recover().
+  rlscommon::Status ApplyTxnPayload(std::string_view payload,
+                                    uint64_t* records_applied);
+
   std::string name_;
   BackendProfile profile_;
   Wal wal_;
   mutable std::mutex catalog_mu_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::mutex recover_mu_;
+  RecoveryStats recovery_stats_;
 };
 
 }  // namespace rdb

@@ -37,6 +37,17 @@ struct BackendProfile {
   /// and hide the effect the paper measures.
   std::chrono::microseconds durable_flush_penalty{8000};
 
+  /// When true the WAL is a real recovery log: checksummed LSN-stamped
+  /// frames, a checkpoint snapshot at recycle-wrap, and Database
+  /// open-time replay via Recover(). When false (default) the WAL stays
+  /// the legacy cost-and-bytes model the paper's Fig. 4 flush curves
+  /// reproduce against.
+  bool wal_recovery = false;
+
+  /// Overrides the WAL recycle threshold; 0 = the Wal default (256 MB).
+  /// Tests use tiny values to drive the checkpoint-wrap boundary.
+  uint64_t wal_recycle_bytes = 0;
+
   IndexDeleteMode index_delete_mode() const {
     return kind == BackendKind::kPostgreSQL ? IndexDeleteMode::kTombstone
                                             : IndexDeleteMode::kErase;

@@ -1,0 +1,124 @@
+#include "rdb/storage_fault.h"
+
+#include <cerrno>
+
+namespace rdb {
+
+std::string_view StorageFaultKindName(StorageFaultKind kind) {
+  switch (kind) {
+    case StorageFaultKind::kShortWrite: return "short_write";
+    case StorageFaultKind::kWriteError: return "write_error";
+    case StorageFaultKind::kSyncError: return "sync_error";
+    case StorageFaultKind::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+void StorageFaultInjector::CrashAtByte(uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_armed_ = true;
+  crash_at_ = offset;
+}
+
+void StorageFaultInjector::FailWriteAtByte(uint64_t offset, int error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_fault_armed_ = true;
+  write_fault_at_ = offset;
+  write_fault_error_ = error ? error : ENOSPC;
+}
+
+void StorageFaultInjector::FailNthSync(uint64_t n, int error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  syncs_seen_ = 0;
+  fail_sync_at_ = n;
+  sync_error_ = error ? error : EIO;
+}
+
+void StorageFaultInjector::SetWriteErrorProbability(double p, int error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_error_probability_ = p;
+  random_write_error_ = error ? error : EIO;
+}
+
+StorageFaultInjector::WriteVerdict StorageFaultInjector::OnWrite(
+    uint64_t offset, std::size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteVerdict v;
+  if (crashed_) {
+    v.kind = WriteVerdict::Kind::kError;
+    v.error = EIO;
+    return v;
+  }
+  if (crash_armed_ && offset + len > crash_at_) {
+    crashed_ = true;
+    v.kind = WriteVerdict::Kind::kShort;
+    v.allowed = crash_at_ > offset ? static_cast<std::size_t>(crash_at_ - offset) : 0;
+    v.error = EIO;
+    ++short_writes_;
+    RecordLocked(StorageFaultKind::kCrash, offset, v.error);
+    return v;
+  }
+  if (write_fault_armed_ && offset <= write_fault_at_ &&
+      offset + len > write_fault_at_) {
+    write_fault_armed_ = false;
+    v.kind = WriteVerdict::Kind::kShort;
+    v.allowed = static_cast<std::size_t>(write_fault_at_ - offset);
+    v.error = write_fault_error_;
+    ++short_writes_;
+    RecordLocked(StorageFaultKind::kShortWrite, offset, v.error);
+    return v;
+  }
+  if (write_error_probability_ > 0.0 &&
+      rng_.NextDouble() < write_error_probability_) {
+    v.kind = WriteVerdict::Kind::kError;
+    v.error = random_write_error_;
+    ++write_errors_;
+    RecordLocked(StorageFaultKind::kWriteError, offset, v.error);
+    return v;
+  }
+  return v;
+}
+
+int StorageFaultInjector::OnSync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return EIO;
+  if (fail_sync_at_ > 0 && ++syncs_seen_ == fail_sync_at_) {
+    fail_sync_at_ = 0;
+    ++sync_errors_;
+    RecordLocked(StorageFaultKind::kSyncError, 0, sync_error_);
+    return sync_error_;
+  }
+  return 0;
+}
+
+bool StorageFaultInjector::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+std::vector<StorageFaultEvent> StorageFaultInjector::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+uint64_t StorageFaultInjector::short_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return short_writes_;
+}
+
+uint64_t StorageFaultInjector::write_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_errors_;
+}
+
+uint64_t StorageFaultInjector::sync_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_errors_;
+}
+
+void StorageFaultInjector::RecordLocked(StorageFaultKind kind, uint64_t offset,
+                                        int error) {
+  events_.push_back(StorageFaultEvent{next_seq_++, kind, offset, error});
+}
+
+}  // namespace rdb

@@ -1,0 +1,136 @@
+// Storage fault injection for the WAL (sibling of net::FaultInjector).
+//
+// The crash-safety claim of the recovery log is only worth something if
+// it is exercised against the ways disks actually fail. The injector sits
+// on the Wal's two decision points:
+//
+//   * OnWrite(offset, len) — called before each frame write with the file
+//     offset the write starts at. The verdict can let the write through,
+//     truncate it after N bytes (a torn write: power loss or ENOSPC
+//     mid-frame), or fail it outright with an errno.
+//   * OnSync() — called before each fdatasync. A failure verdict models
+//     fsyncgate: the kernel may have dropped the dirty pages, so the Wal
+//     treats a failed sync as fail-stop and never retries it.
+//
+// Plans:
+//   * CrashAtByte(n): persistence stops at absolute file offset n — the
+//     write that crosses n is truncated there and every later operation
+//     fails, leaving exactly the torn frame a power cut would. The crash
+//     matrix uses this to place intra-record cut points.
+//   * FailWriteAtByte(n, err): one-shot partial write + errno at offset n
+//     (disk error mid-write, without the process "dying").
+//   * FailNthSync(n, err): the n-th sync (1-based) fails.
+//   * SetWriteErrorProbability(p, err): seeded random write errors.
+//
+// Probabilistic decisions draw from one seeded xoshiro256** stream and
+// every injected fault lands in an event log, so a single-threaded
+// driver replays the identical fault sequence for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rdb {
+
+/// What the injector did to one storage operation.
+enum class StorageFaultKind : uint8_t {
+  kShortWrite = 0,  // write truncated after `bytes` bytes, then errno
+  kWriteError = 1,  // write failed outright with errno
+  kSyncError = 2,   // fdatasync failed with errno
+  kCrash = 3,       // CrashAtByte tripped: persistence stopped here
+};
+
+std::string_view StorageFaultKindName(StorageFaultKind kind);
+
+/// One entry of the injector's event log. `seq` is the decision order;
+/// for a fixed seed and deterministic driver the log replays identically.
+struct StorageFaultEvent {
+  uint64_t seq = 0;
+  StorageFaultKind kind = StorageFaultKind::kWriteError;
+  uint64_t offset = 0;  // file offset the operation started at (0 for sync)
+  int error = 0;        // errno delivered to the Wal
+
+  bool operator==(const StorageFaultEvent& other) const {
+    return seq == other.seq && kind == other.kind && offset == other.offset &&
+           error == other.error;
+  }
+};
+
+class StorageFaultInjector {
+ public:
+  explicit StorageFaultInjector(uint64_t seed = 0) : rng_(seed) {}
+
+  StorageFaultInjector(const StorageFaultInjector&) = delete;
+  StorageFaultInjector& operator=(const StorageFaultInjector&) = delete;
+
+  // --- scenario configuration ---
+
+  /// Simulated power cut: bytes at file offsets >= `offset` never reach
+  /// the disk. The write crossing the boundary is truncated there; every
+  /// later write/sync fails (the process is "dead" to the log).
+  void CrashAtByte(uint64_t offset);
+
+  /// One-shot disk error: the write covering file offset `offset` is cut
+  /// short at that offset and fails with `error` (default ENOSPC).
+  void FailWriteAtByte(uint64_t offset, int error);
+
+  /// The `n`-th OnSync call (1-based, counted from now) fails with
+  /// `error` (default EIO).
+  void FailNthSync(uint64_t n, int error);
+
+  /// Each write independently fails with probability `p` (seeded stream).
+  void SetWriteErrorProbability(double p, int error);
+
+  // --- decision points (called by the Wal) ---
+
+  struct WriteVerdict {
+    enum class Kind { kOk, kShort, kError } kind = Kind::kOk;
+    std::size_t allowed = 0;  // bytes to persist before failing (kShort)
+    int error = 0;
+  };
+
+  /// Verdict for one contiguous frame write starting at file `offset`.
+  WriteVerdict OnWrite(uint64_t offset, std::size_t len);
+
+  /// 0 = sync proceeds; otherwise the errno the sync fails with.
+  int OnSync();
+
+  // --- introspection ---
+
+  /// True once CrashAtByte tripped: the simulated machine is down and
+  /// the torn tail must stay on disk (the Wal must not repair it).
+  bool crashed() const;
+
+  std::vector<StorageFaultEvent> Events() const;
+  uint64_t short_writes() const;
+  uint64_t write_errors() const;
+  uint64_t sync_errors() const;
+
+ private:
+  void RecordLocked(StorageFaultKind kind, uint64_t offset, int error);
+
+  mutable std::mutex mu_;
+  rlscommon::Xoshiro256 rng_;
+  bool crash_armed_ = false;
+  uint64_t crash_at_ = 0;
+  bool crashed_ = false;
+  bool write_fault_armed_ = false;
+  uint64_t write_fault_at_ = 0;
+  int write_fault_error_ = 0;
+  uint64_t syncs_seen_ = 0;
+  uint64_t fail_sync_at_ = 0;  // 0 = disarmed; counts from arming
+  int sync_error_ = 0;
+  double write_error_probability_ = 0.0;
+  int random_write_error_ = 0;
+  std::vector<StorageFaultEvent> events_;
+  uint64_t next_seq_ = 0;
+  uint64_t short_writes_ = 0;
+  uint64_t write_errors_ = 0;
+  uint64_t sync_errors_ = 0;
+};
+
+}  // namespace rdb

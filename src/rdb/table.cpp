@@ -116,6 +116,41 @@ Status Table::Delete(Rid rid) {
   return Status::Ok();
 }
 
+Status Table::DeleteByValue(const Row& image) {
+  if (image.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row image arity mismatch for " + name());
+  }
+  // Prefer a unique hash index: one probe instead of a scan.
+  for (const IndexEntry& e : indexes_) {
+    if (e.kind != IndexKind::kHash || !e.unique || !e.hash) continue;
+    std::vector<Rid> rids;
+    e.hash->Lookup(image[e.column], &rids);
+    for (Rid rid : rids) {
+      Row row;
+      if (heap_.state(rid) == SlotState::kLive && ReadRow(rid, &row).ok() &&
+          row == image) {
+        return Delete(rid);
+      }
+    }
+    return Status::NotFound("row not found by unique index in " + name());
+  }
+  // Scan fallback.
+  Rid found;
+  bool have = false;
+  Scan([&](Rid rid, SlotState st) {
+    if (st != SlotState::kLive) return true;
+    Row row;
+    if (ReadRow(rid, &row).ok() && row == image) {
+      found = rid;
+      have = true;
+      return false;
+    }
+    return true;
+  });
+  if (!have) return Status::NotFound("row not found by scan in " + name());
+  return Delete(found);
+}
+
 Status Table::Update(Rid rid, Row new_row, Rid* new_rid) {
   Status valid = schema_.ValidateRow(new_row);
   if (!valid.ok()) return valid;

@@ -57,6 +57,12 @@ class Table {
   /// Deletes the row at `rid` (profile decides dead-tuple vs free).
   rlscommon::Status Delete(Rid rid);
 
+  /// Deletes one live row whose values equal `image`, located through a
+  /// unique hash index when one exists (scan fallback otherwise). Used
+  /// by transaction undo and by WAL replay, which both identify rows by
+  /// value, not rid. The caller holds the exclusive lock.
+  rlscommon::Status DeleteByValue(const Row& image);
+
   /// Replaces the row at `rid`; returns the new rid via `new_rid`.
   rlscommon::Status Update(Rid rid, Row new_row, Rid* new_rid);
 

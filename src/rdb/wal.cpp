@@ -1,72 +1,429 @@
 #include "rdb/wal.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <thread>
+#include <vector>
 
+#include "common/crc32c.h"
 #include "common/logging.h"
 #include "common/trace_context.h"
 
 namespace rdb {
+namespace {
+
+using rlscommon::Status;
+
+constexpr uint32_t kSidecarMagic = 0x504B4352u;  // "RCKP" little-endian
+
+void PutU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void PutU64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint32_t GetU32(const char* p) { uint32_t v; std::memcpy(&v, p, 4); return v; }
+uint64_t GetU64(const char* p) { uint64_t v; std::memcpy(&v, p, 8); return v; }
+
+/// Builds one frame: crc | lsn | type | len | payload. The CRC covers
+/// everything after the CRC field.
+std::string BuildFrame(uint8_t type, uint64_t lsn, std::string_view payload) {
+  std::string frame(kWalFrameHeaderBytes, '\0');
+  PutU64(&frame[4], lsn);
+  frame[12] = static_cast<char>(type);
+  PutU32(&frame[13], static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  const uint32_t crc = rlscommon::Crc32c(frame.data() + 4, frame.size() - 4);
+  PutU32(&frame[0], crc);
+  return frame;
+}
+
+/// Full positional write with EINTR/partial-write handling. Returns 0 on
+/// success, errno on failure; `*written` reports bytes that landed.
+int PWriteAll(int fd, const char* p, std::size_t n, uint64_t offset,
+              std::size_t* written) {
+  *written = 0;
+  while (n > 0) {
+    ssize_t w = ::pwrite(fd, p, n, static_cast<off_t>(offset));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return errno;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+    offset += static_cast<uint64_t>(w);
+    *written += static_cast<std::size_t>(w);
+  }
+  return 0;
+}
+
+}  // namespace
 
 Wal::Wal(std::string path, uint64_t recycle_bytes)
-    : path_(std::move(path)), recycle_bytes_(recycle_bytes) {
+    : Wal(std::move(path), WalOptions{recycle_bytes, /*recovery=*/false,
+                                      /*fault=*/nullptr}) {}
+
+Wal::Wal(std::string path, WalOptions options)
+    : path_(std::move(path)), options_(options) {
   if (path_.empty()) return;
-  fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  // Legacy mode truncates on open (the log is scratch space); recovery
+  // mode must preserve whatever a previous incarnation left behind.
+  const int flags =
+      options_.recovery ? (O_CREAT | O_RDWR) : (O_CREAT | O_WRONLY | O_TRUNC);
+  fd_ = ::open(path_.c_str(), flags, 0644);
   if (fd_ < 0) {
     RLS_WARN("wal") << "cannot open WAL file " << path_ << ": "
                     << std::strerror(errno) << " — falling back to in-memory";
+  } else if (options_.recovery) {
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end > 0) file_bytes_ = static_cast<uint64_t>(end);
   }
 }
 
 Wal::~Wal() {
   if (fd_ >= 0) {
     ::close(fd_);
-    ::unlink(path_.c_str());
+    // The legacy log is a cost model, not state: remove it. A recovery
+    // log (and its checkpoint sidecar) must survive for replay.
+    if (!options_.recovery) ::unlink(path_.c_str());
   }
 }
 
-rlscommon::Status Wal::Commit(std::string_view payload, bool durable,
-                              std::chrono::microseconds penalty) {
+Status Wal::WriteFrameLocked(uint8_t type, uint64_t lsn,
+                             std::string_view payload) {
+  const std::string frame = BuildFrame(type, lsn, payload);
+  const uint64_t offset = file_bytes_;
+  std::size_t to_write = frame.size();
+  if (options_.fault) {
+    const auto verdict = options_.fault->OnWrite(offset, frame.size());
+    using Kind = StorageFaultInjector::WriteVerdict::Kind;
+    if (verdict.kind == Kind::kError) {
+      // Nothing reached the disk; the log is still consistent.
+      return Status::DataLoss(std::string("WAL write: ") +
+                              std::strerror(verdict.error));
+    }
+    if (verdict.kind == Kind::kShort) {
+      std::size_t written = 0;
+      (void)PWriteAll(fd_, frame.data(), verdict.allowed, offset, &written);
+      if (options_.fault->crashed()) {
+        // Simulated power cut: the torn frame stays on disk for recovery
+        // to find, and this Wal is dead.
+        poisoned_ = true;
+        file_bytes_ = offset + written;
+        return Status::DataLoss("WAL write: simulated crash after " +
+                                std::to_string(written) + " bytes");
+      }
+      // Disk error mid-frame with the process alive: truncate the torn
+      // frame away so the log stays a clean prefix of committed frames.
+      if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+        poisoned_ = true;
+        return Status::DataLoss(std::string("WAL short write; repair failed: ") +
+                                std::strerror(errno));
+      }
+      return Status::DataLoss(std::string("WAL short write: ") +
+                              std::strerror(verdict.error));
+    }
+    to_write = frame.size();
+  }
+  std::size_t written = 0;
+  const int err = PWriteAll(fd_, frame.data(), to_write, offset, &written);
+  if (err != 0) {
+    if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+      poisoned_ = true;
+      return Status::DataLoss(std::string("WAL write failed; repair failed: ") +
+                              std::strerror(errno));
+    }
+    return Status::DataLoss(std::string("WAL write: ") + std::strerror(err));
+  }
+  file_bytes_ = offset + frame.size();
+  return Status::Ok();
+}
+
+Status Wal::SyncLocked() {
+  if (options_.fault) {
+    const int err = options_.fault->OnSync();
+    if (err != 0) {
+      // fsyncgate: a failed sync may have dropped the dirty pages.
+      // Retrying would claim durability that does not exist, so the log
+      // fails stop.
+      poisoned_ = true;
+      return Status::DataLoss(std::string("WAL fsync: ") + std::strerror(err));
+    }
+  }
+  if (fd_ >= 0 && ::fdatasync(fd_) != 0) {
+    poisoned_ = true;
+    return Status::DataLoss(std::string("WAL fsync: ") + std::strerror(errno));
+  }
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status Wal::CheckpointLocked() {
+  // 1. Snapshot the committed state (the writer takes the table locks;
+  //    Commit holds none).
+  uint64_t snapshot_rows = 0;
+  const std::string snapshot =
+      checkpoint_writer_ ? checkpoint_writer_(&snapshot_rows) : std::string();
+  const uint64_t ckpt_lsn = last_lsn_;
+
+  // 2. Persist the snapshot atomically: tmp + fsync + rename. A crash
+  //    before the rename leaves the old sidecar + the full log; after
+  //    it, the new sidecar + (possibly still full) log — either way
+  //    recovery sees a consistent pair, because frames with LSN <= the
+  //    sidecar's are skipped during replay.
+  const std::string ckpt_path = path_ + ".ckpt";
+  const std::string tmp_path = ckpt_path + ".tmp";
+  int cfd = ::open(tmp_path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (cfd < 0) {
+    return Status::DataLoss(std::string("WAL checkpoint: open ") + tmp_path +
+                            ": " + std::strerror(errno));
+  }
+  std::string blob(20, '\0');
+  PutU32(&blob[0], kSidecarMagic);
+  PutU64(&blob[8], ckpt_lsn);
+  PutU32(&blob[16], static_cast<uint32_t>(snapshot.size()));
+  blob.append(snapshot);
+  const uint32_t crc = rlscommon::Crc32c(blob.data() + 8, blob.size() - 8);
+  PutU32(&blob[4], crc);
+  std::size_t written = 0;
+  int err = PWriteAll(cfd, blob.data(), blob.size(), 0, &written);
+  if (err == 0 && ::fsync(cfd) != 0) err = errno;
+  ::close(cfd);
+  if (err == 0 && ::rename(tmp_path.c_str(), ckpt_path.c_str()) != 0) {
+    err = errno;
+  }
+  if (err != 0) {
+    ::unlink(tmp_path.c_str());
+    // The wrap is aborted but the log is intact; the next commit
+    // retries the checkpoint.
+    return Status::DataLoss(std::string("WAL checkpoint: ") +
+                            std::strerror(err));
+  }
+
+  // 3. Recycle the log and stamp the pre-wrap LSN so file_bytes() and
+  //    replay agree across the boundary.
+  if (::ftruncate(fd_, 0) != 0) {
+    poisoned_ = true;
+    return Status::DataLoss(std::string("WAL checkpoint truncate: ") +
+                            std::strerror(errno));
+  }
+  file_bytes_ = 0;
+  Status s = WriteFrameLocked(kWalFrameCheckpoint, ckpt_lsn, {});
+  if (!s.ok()) return s;
+  s = SyncLocked();
+  if (!s.ok()) return s;
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  RLS_INFO("wal") << "checkpoint at lsn " << ckpt_lsn << " (" << snapshot_rows
+                  << " rows, " << snapshot.size() << " snapshot bytes) " << path_;
+  return Status::Ok();
+}
+
+Status Wal::Commit(std::string_view payload, bool durable,
+                   std::chrono::microseconds penalty) {
   commits_.fetch_add(1, std::memory_order_relaxed);
   bytes_logged_.fetch_add(payload.size(), std::memory_order_relaxed);
 
   std::lock_guard<std::mutex> lock(commit_mu_);
+  if (poisoned_) {
+    return Status::DataLoss("WAL is poisoned after an earlier sync/write "
+                            "failure; restart and recover");
+  }
   if (fd_ >= 0 && !payload.empty()) {
-    if (file_bytes_ > recycle_bytes_) {
-      if (::lseek(fd_, 0, SEEK_SET) == 0) file_bytes_ = 0;
-    }
-    const char* p = payload.data();
-    std::size_t n = payload.size();
-    while (n > 0) {
-      ssize_t w = ::write(fd_, p, n);
-      if (w < 0) {
-        if (errno == EINTR) continue;
-        return rlscommon::Status::Database(std::string("WAL write: ") +
-                                           std::strerror(errno));
+    if (options_.recovery) {
+      Status s = WriteFrameLocked(kWalFrameTxn, last_lsn_ + 1, payload);
+      if (!s.ok()) return s;
+      ++last_lsn_;
+      // Checkpoint AFTER appending this frame, never before: the engine
+      // applies a transaction's mutations to the tables before it
+      // commits here, so the snapshot below already contains this
+      // transaction's effects. Taking it after the append makes the
+      // sidecar LSN include this frame — replay skips it and nothing is
+      // applied twice. (A pre-append checkpoint would capture the
+      // effects under an LSN that excludes them: double-apply on
+      // recovery.)
+      if (file_bytes_ > options_.recycle_bytes) {
+        s = CheckpointLocked();
+        if (!s.ok()) return s;
       }
-      p += w;
-      n -= static_cast<std::size_t>(w);
-      file_bytes_ += static_cast<uint64_t>(w);
+    } else {
+      if (file_bytes_ > options_.recycle_bytes) {
+        if (::lseek(fd_, 0, SEEK_SET) == 0) file_bytes_ = 0;
+      }
+      const char* p = payload.data();
+      std::size_t n = payload.size();
+      if (options_.fault) {
+        const auto verdict = options_.fault->OnWrite(file_bytes_, n);
+        using Kind = StorageFaultInjector::WriteVerdict::Kind;
+        if (verdict.kind != Kind::kOk) {
+          if (verdict.kind == Kind::kShort) {
+            ssize_t w = ::write(fd_, p, verdict.allowed);
+            if (w > 0) file_bytes_ += static_cast<uint64_t>(w);
+            if (options_.fault->crashed()) poisoned_ = true;
+          }
+          return Status::DataLoss(std::string("WAL write: ") +
+                                  std::strerror(verdict.error));
+        }
+      }
+      while (n > 0) {
+        ssize_t w = ::write(fd_, p, n);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          return Status::DataLoss(std::string("WAL write: ") +
+                                  std::strerror(errno));
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+        file_bytes_ += static_cast<uint64_t>(w);
+      }
     }
   }
   if (durable) {
-    if (fd_ >= 0) ::fdatasync(fd_);
-    syncs_.fetch_add(1, std::memory_order_relaxed);
+    if (fd_ >= 0) {
+      Status s = SyncLocked();
+      if (!s.ok()) return s;
+    } else {
+      syncs_.fetch_add(1, std::memory_order_relaxed);
+    }
     if (penalty.count() > 0) std::this_thread::sleep_for(penalty);
     // Stage stamp on the ambient request span: everything since the
     // db_txn stamp (taken before this commit) was spent syncing.
     rlscommon::StampHop("wal_sync");
   }
-  return rlscommon::Status::Ok();
+  return Status::Ok();
+}
+
+Status Wal::Recover(
+    uint64_t base_lsn,
+    const std::function<Status(uint64_t lsn, std::string_view payload)>& apply,
+    WalRecoverResult* result) {
+  *result = WalRecoverResult{};
+  if (!options_.recovery) {
+    return Status::Unsupported("WAL recovery requires the recovery profile");
+  }
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  result->last_lsn = base_lsn;
+  if (fd_ < 0) return Status::Ok();
+
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) {
+    return Status::DataLoss(std::string("WAL recover: fstat: ") +
+                            std::strerror(errno));
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  uint64_t offset = 0;
+  uint64_t last_good = 0;
+  char header[kWalFrameHeaderBytes];
+  std::vector<char> payload;
+
+  while (offset + kWalFrameHeaderBytes <= size) {
+    ssize_t r = ::pread(fd_, header, kWalFrameHeaderBytes,
+                        static_cast<off_t>(offset));
+    if (r != static_cast<ssize_t>(kWalFrameHeaderBytes)) break;  // torn tail
+    const uint32_t crc = GetU32(header);
+    const uint64_t lsn = GetU64(header + 4);
+    const uint8_t type = static_cast<uint8_t>(header[12]);
+    const uint32_t len = GetU32(header + 13);
+    if (offset + kWalFrameHeaderBytes + len > size) break;  // torn tail
+    payload.resize(len);
+    if (len > 0) {
+      r = ::pread(fd_, payload.data(), len,
+                  static_cast<off_t>(offset + kWalFrameHeaderBytes));
+      if (r != static_cast<ssize_t>(len)) break;  // torn tail
+    }
+    uint32_t actual = rlscommon::Crc32cExtend(0, header + 4,
+                                              kWalFrameHeaderBytes - 4);
+    actual = rlscommon::Crc32cExtend(actual, payload.data(), len);
+    if (actual != crc) {
+      // Corrupt frame: count it and treat it (and everything after) as
+      // the torn tail. A half-written final frame lands here too when
+      // its length field survived but its payload did not.
+      checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+      result->checksum_failures++;
+      break;
+    }
+    if (type == kWalFrameCheckpoint) {
+      result->checkpoint_lsn = lsn;
+      if (lsn > result->last_lsn) result->last_lsn = lsn;
+    } else if (type == kWalFrameTxn) {
+      if (lsn > result->last_lsn) result->last_lsn = lsn;
+      if (lsn > base_lsn && apply) {
+        Status s = apply(lsn, len > 0 ? std::string_view(payload.data(), len)
+                                      : std::string_view());
+        if (!s.ok()) return s;
+        result->frames_applied++;
+      }
+    } else {
+      // Unknown frame type: corruption that happened to pass the CRC of
+      // garbage is not possible (the CRC covers the type), so this is a
+      // version skew; stop replay here.
+      break;
+    }
+    offset += kWalFrameHeaderBytes + len;
+    last_good = offset;
+  }
+
+  const uint64_t torn = size - last_good;
+  if (torn > 0) {
+    if (::ftruncate(fd_, static_cast<off_t>(last_good)) != 0) {
+      return Status::DataLoss(std::string("WAL recover: truncate: ") +
+                              std::strerror(errno));
+    }
+    torn_tail_bytes_.fetch_add(torn, std::memory_order_relaxed);
+    result->torn_tail_bytes = torn;
+  }
+  file_bytes_ = last_good;
+  last_lsn_ = result->last_lsn;
+  return Status::Ok();
+}
+
+Status Wal::ReadCheckpointSidecar(std::string* payload, uint64_t* lsn,
+                                  bool* present) const {
+  *present = false;
+  *lsn = 0;
+  payload->clear();
+  if (path_.empty()) return Status::Ok();
+  const std::string ckpt_path = path_ + ".ckpt";
+  int cfd = ::open(ckpt_path.c_str(), O_RDONLY);
+  if (cfd < 0) return Status::Ok();  // no sidecar: nothing checkpointed yet
+  struct stat st {};
+  std::string blob;
+  if (::fstat(cfd, &st) == 0 && st.st_size >= 20) {
+    blob.resize(static_cast<std::size_t>(st.st_size));
+    ssize_t r = ::pread(cfd, blob.data(), blob.size(), 0);
+    if (r != static_cast<ssize_t>(blob.size())) blob.clear();
+  }
+  ::close(cfd);
+  if (blob.size() < 20 || GetU32(blob.data()) != kSidecarMagic) {
+    return Status::DataLoss("WAL checkpoint sidecar " + ckpt_path +
+                            " is malformed; ignoring it");
+  }
+  const uint32_t crc = GetU32(blob.data() + 4);
+  const uint64_t ckpt_lsn = GetU64(blob.data() + 8);
+  const uint32_t len = GetU32(blob.data() + 16);
+  if (blob.size() != 20u + len ||
+      rlscommon::Crc32c(blob.data() + 8, blob.size() - 8) != crc) {
+    return Status::DataLoss("WAL checkpoint sidecar " + ckpt_path +
+                            " failed its checksum; ignoring it");
+  }
+  *present = true;
+  *lsn = ckpt_lsn;
+  payload->assign(blob, 20, len);
+  return Status::Ok();
+}
+
+bool Wal::poisoned() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return poisoned_;
 }
 
 uint64_t Wal::file_bytes() const {
   std::lock_guard<std::mutex> lock(commit_mu_);
   return file_bytes_;
+}
+
+uint64_t Wal::last_lsn() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return last_lsn_;
 }
 
 }  // namespace rdb

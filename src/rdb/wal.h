@@ -8,33 +8,94 @@
 // "loose consistency ... at some risk of database corruption" mode the
 // paper recommends enabling for RLS deployments (§5.1).
 //
-// The log is a cost-and-bytes model: it makes the flush-enabled/disabled
-// experiments honest. Crash-recovery replay is intentionally out of scope
-// (RLI state is soft and reconstructable via soft-state updates; LRCs are
-// repopulated by the external publishing service — paper §2/§3.2).
+// The log runs in one of two modes:
+//
+//   * Legacy (default): a cost-and-bytes model that makes the
+//     flush-enabled/disabled experiments honest. The file is truncated
+//     on open, recycled by seeking back to 0 past the threshold, and
+//     unlinked on close. No recovery — this is the profile the paper's
+//     Fig. 4 flush curves reproduce against.
+//
+//   * Recovery (WalOptions::recovery): a real recovery log. Every commit
+//     becomes a self-describing frame —
+//
+//       u32 crc32c   over everything after this field
+//       u64 lsn      monotonic, 1-based
+//       u8  type     1 = transaction, 2 = checkpoint
+//       u32 len      payload length
+//       payload      logical record stream (rdb/wal_record.h)
+//
+//     The file persists across close/reopen. When a commit pushes the
+//     file past the recycle threshold, the Wal (after appending that
+//     commit's frame — the engine applies mutations before logging, so
+//     the snapshot must include the frame's LSN) invokes the checkpoint
+//     writer (Database serializes a snapshot of all live rows),
+//     persists it atomically to a sidecar file (path + ".ckpt": tmp +
+//     fsync + rename), truncates the log to zero and writes a
+//     checkpoint frame carrying the pre-wrap LSN — so replay cost stays
+//     bounded and `file_bytes()` agrees with replay across the wrap. Recover() scans the log, verifies checksums,
+//     truncates the first torn/corrupt frame and everything after it,
+//     and hands committed payloads to the caller in LSN order.
+//
+// Failure policy (both modes): a write error or injected short write is
+// a typed non-retryable DATA_LOSS error; in recovery mode the partially
+// written frame is truncated away so the log stays consistent. A failed
+// fdatasync poisons the log permanently — after fsync fails, the kernel
+// may already have dropped the dirty pages, so retrying the sync would
+// silently report durability that does not exist (the "fsyncgate"
+// semantics); every later Commit fails fast with DATA_LOSS.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/error.h"
+#include "rdb/storage_fault.h"
 
 namespace rdb {
 
+/// WAL frame types (recovery mode).
+inline constexpr uint8_t kWalFrameTxn = 1;
+inline constexpr uint8_t kWalFrameCheckpoint = 2;
+
+/// Frame header bytes: crc(4) + lsn(8) + type(1) + len(4).
+inline constexpr std::size_t kWalFrameHeaderBytes = 17;
+
+/// Construction-time options beyond the path.
+struct WalOptions {
+  uint64_t recycle_bytes = 256ull << 20;
+  /// True = framed, persistent, replayable log; false = legacy
+  /// cost-and-bytes model.
+  bool recovery = false;
+  /// Optional fault injector consulted before log writes and syncs.
+  StorageFaultInjector* fault = nullptr;
+};
+
+/// What Recover() found in the log.
+struct WalRecoverResult {
+  uint64_t frames_applied = 0;    // txn frames handed to the applier
+  uint64_t last_lsn = 0;          // highest LSN seen (commits continue after)
+  uint64_t torn_tail_bytes = 0;   // bytes truncated at the torn/corrupt tail
+  uint64_t checksum_failures = 0; // frames rejected by CRC (0 or 1 per scan)
+  uint64_t checkpoint_lsn = 0;    // LSN of a checkpoint frame, 0 = none
+};
+
 class Wal {
  public:
-  /// Default recycle threshold: the log wraps rather than growing
-  /// without bound (checkpointing stand-in).
+  /// Default recycle threshold: the log wraps (legacy) or checkpoints
+  /// (recovery) rather than growing without bound.
   static constexpr uint64_t kRecycleBytes = 256ull << 20;
 
   /// `path` empty = account bytes but keep no file (in-memory database).
   /// `recycle_bytes` overrides the wrap threshold (tests use tiny
   /// values to exercise the boundary without writing 256 MB).
   explicit Wal(std::string path, uint64_t recycle_bytes = kRecycleBytes);
+  Wal(std::string path, WalOptions options);
   ~Wal();
 
   Wal(const Wal&) = delete;
@@ -44,29 +105,83 @@ class Wal {
   /// synced and `penalty` of modeled disk time is charged before
   /// returning. Thread-safe; concurrent commits serialize (no group
   /// commit, matching the flat add-rate-vs-threads curve of Fig. 4).
+  /// Fails with DATA_LOSS on a storage error; permanently after a
+  /// failed sync (see the failure policy above).
   rlscommon::Status Commit(std::string_view payload, bool durable,
                            std::chrono::microseconds penalty);
+
+  /// Recovery-mode scan: verifies every frame's checksum, truncates the
+  /// log at the first torn or corrupt frame, and calls `apply` for each
+  /// committed transaction payload with LSN > `base_lsn` (the snapshot
+  /// LSN), in order. Leaves the write position at the end of the last
+  /// valid frame so new commits continue the LSN sequence. Idempotent:
+  /// a second scan over the repaired log yields the same frames.
+  rlscommon::Status Recover(
+      uint64_t base_lsn,
+      const std::function<rlscommon::Status(uint64_t lsn,
+                                            std::string_view payload)>& apply,
+      WalRecoverResult* result);
+
+  /// Reads the checkpoint sidecar (path + ".ckpt") if one exists.
+  /// `*present` = false (and OK) when there is none; DATA_LOSS when the
+  /// sidecar exists but fails its checksum (it is then ignored).
+  rlscommon::Status ReadCheckpointSidecar(std::string* payload, uint64_t* lsn,
+                                          bool* present) const;
+
+  /// Installs the snapshot producer invoked at recycle-wrap (recovery
+  /// mode). Returns the serialized table snapshot; `snapshot_rows`
+  /// receives the row count for metrics. Called under the commit lock
+  /// with no table locks held, so the writer may take them.
+  void SetCheckpointWriter(
+      std::function<std::string(uint64_t* snapshot_rows)> writer) {
+    checkpoint_writer_ = std::move(writer);
+  }
 
   uint64_t bytes_logged() const { return bytes_logged_.load(std::memory_order_relaxed); }
   uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
   uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
+  uint64_t checkpoints() const { return checkpoints_.load(std::memory_order_relaxed); }
+  uint64_t torn_tail_bytes() const { return torn_tail_bytes_.load(std::memory_order_relaxed); }
+  uint64_t checksum_failures() const { return checksum_failures_.load(std::memory_order_relaxed); }
   const std::string& path() const { return path_; }
+  bool recovery_enabled() const { return options_.recovery; }
+
+  /// True once a storage failure made the log unusable (failed sync, or
+  /// an unrepairable write error). All further commits fail DATA_LOSS.
+  bool poisoned() const;
 
   /// Current write offset in the file (post-wrap position). Bounded by
   /// recycle_bytes + the largest single commit.
   uint64_t file_bytes() const;
 
-  uint64_t recycle_bytes() const { return recycle_bytes_; }
+  /// Highest LSN assigned (recovery mode).
+  uint64_t last_lsn() const;
+
+  uint64_t recycle_bytes() const { return options_.recycle_bytes; }
 
  private:
+  /// Appends one frame at file_bytes_ (recovery mode, lock held).
+  rlscommon::Status WriteFrameLocked(uint8_t type, uint64_t lsn,
+                                     std::string_view payload);
+  /// fdatasync with fail-stop semantics (lock held).
+  rlscommon::Status SyncLocked();
+  /// Snapshot + sidecar + truncate + checkpoint frame (lock held).
+  rlscommon::Status CheckpointLocked();
+
   std::string path_;
-  uint64_t recycle_bytes_;
+  WalOptions options_;
   int fd_ = -1;
   mutable std::mutex commit_mu_;
   std::atomic<uint64_t> bytes_logged_{0};
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> torn_tail_bytes_{0};
+  std::atomic<uint64_t> checksum_failures_{0};
   uint64_t file_bytes_ = 0;  // guarded by commit_mu_
+  uint64_t last_lsn_ = 0;    // guarded by commit_mu_
+  bool poisoned_ = false;    // guarded by commit_mu_
+  std::function<std::string(uint64_t*)> checkpoint_writer_;
 };
 
 }  // namespace rdb

@@ -1,0 +1,161 @@
+#include "rdb/wal_record.h"
+
+#include <cstring>
+
+#include "rdb/value.h"
+
+namespace rdb {
+namespace {
+
+using rlscommon::Status;
+
+void AppendU16(uint16_t v, std::string* out) {
+  char buf[2];
+  std::memcpy(buf, &v, 2);
+  out->append(buf, 2);
+}
+
+bool ReadU16(std::string_view* data, uint16_t* v) {
+  if (data->size() < 2) return false;
+  std::memcpy(v, data->data(), 2);
+  data->remove_prefix(2);
+  return true;
+}
+
+void AppendImage(const Row& row, std::string* out) {
+  AppendU16(static_cast<uint16_t>(row.size()), out);
+  for (const Value& v : row) v.Encode(out);
+}
+
+Status ReadImage(std::string_view* data, Row* out) {
+  uint16_t columns = 0;
+  if (!ReadU16(data, &columns)) {
+    return Status::Protocol("WAL record: truncated column count");
+  }
+  out->clear();
+  out->reserve(columns);
+  for (uint16_t c = 0; c < columns; ++c) {
+    Value v;
+    Status s = Value::Decode(data, &v);
+    if (!s.ok()) return s;
+    out->push_back(std::move(v));
+  }
+  return Status::Ok();
+}
+
+void AppendHeader(WalRecordType type, const std::string& table,
+                  std::string* out) {
+  out->push_back(static_cast<char>(type));
+  AppendU16(static_cast<uint16_t>(table.size()), out);
+  out->append(table);
+}
+
+}  // namespace
+
+void AppendInsertRecord(const std::string& table, const Row& row,
+                        std::string* out) {
+  AppendHeader(WalRecordType::kInsert, table, out);
+  AppendImage(row, out);
+}
+
+void AppendUpdateRecord(const std::string& table, const Row& old_row,
+                        const Row& new_row, std::string* out) {
+  AppendHeader(WalRecordType::kUpdate, table, out);
+  AppendImage(old_row, out);
+  AppendImage(new_row, out);
+}
+
+void AppendDeleteRecord(const std::string& table, const Row& old_row,
+                        std::string* out) {
+  AppendHeader(WalRecordType::kDelete, table, out);
+  AppendImage(old_row, out);
+}
+
+void EncodeSnapshot(const std::vector<TableSnapshot>& tables,
+                    std::string* out) {
+  char count[4];
+  const uint32_t n = static_cast<uint32_t>(tables.size());
+  std::memcpy(count, &n, 4);
+  out->append(count, 4);
+  for (const TableSnapshot& t : tables) {
+    AppendU16(static_cast<uint16_t>(t.table.size()), out);
+    out->append(t.table);
+    char rows[8];
+    const uint64_t r = t.rows.size();
+    std::memcpy(rows, &r, 8);
+    out->append(rows, 8);
+    for (const Row& row : t.rows) AppendImage(row, out);
+  }
+}
+
+Status DecodeSnapshot(std::string_view payload,
+                      std::vector<TableSnapshot>* out) {
+  out->clear();
+  uint32_t table_count = 0;
+  if (payload.size() < 4) return Status::Protocol("snapshot: truncated header");
+  std::memcpy(&table_count, payload.data(), 4);
+  payload.remove_prefix(4);
+  out->reserve(table_count);
+  for (uint32_t t = 0; t < table_count; ++t) {
+    TableSnapshot snap;
+    uint16_t name_len = 0;
+    if (!ReadU16(&payload, &name_len) || payload.size() < name_len + 8u) {
+      return Status::Protocol("snapshot: truncated table header");
+    }
+    snap.table.assign(payload.substr(0, name_len));
+    payload.remove_prefix(name_len);
+    uint64_t row_count = 0;
+    std::memcpy(&row_count, payload.data(), 8);
+    payload.remove_prefix(8);
+    snap.rows.reserve(static_cast<std::size_t>(row_count));
+    for (uint64_t r = 0; r < row_count; ++r) {
+      Row row;
+      Status s = ReadImage(&payload, &row);
+      if (!s.ok()) return s;
+      snap.rows.push_back(std::move(row));
+    }
+    out->push_back(std::move(snap));
+  }
+  if (!payload.empty()) return Status::Protocol("snapshot: trailing bytes");
+  return Status::Ok();
+}
+
+Status DecodeWalRecords(std::string_view payload,
+                        std::vector<WalRecord>* out) {
+  out->clear();
+  while (!payload.empty()) {
+    WalRecord rec;
+    const char tag = payload.front();
+    payload.remove_prefix(1);
+    uint16_t table_len = 0;
+    if (!ReadU16(&payload, &table_len) || payload.size() < table_len) {
+      return Status::Protocol("WAL record: truncated table name");
+    }
+    rec.table.assign(payload.substr(0, table_len));
+    payload.remove_prefix(table_len);
+    Status s;
+    switch (tag) {
+      case 'I':
+        rec.type = WalRecordType::kInsert;
+        s = ReadImage(&payload, &rec.row);
+        break;
+      case 'U':
+        rec.type = WalRecordType::kUpdate;
+        s = ReadImage(&payload, &rec.old_row);
+        if (s.ok()) s = ReadImage(&payload, &rec.row);
+        break;
+      case 'D':
+        rec.type = WalRecordType::kDelete;
+        s = ReadImage(&payload, &rec.old_row);
+        break;
+      default:
+        return Status::Protocol(std::string("WAL record: unknown tag '") + tag +
+                                "'");
+    }
+    if (!s.ok()) return s;
+    out->push_back(std::move(rec));
+  }
+  return Status::Ok();
+}
+
+}  // namespace rdb

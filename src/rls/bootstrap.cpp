@@ -1,6 +1,8 @@
 #include "rls/bootstrap.h"
 
 #include "common/strings.h"
+#include "dbapi/dbapi.h"
+#include "rdb/profile.h"
 
 namespace rls {
 
@@ -57,6 +59,7 @@ Status ConfigureServer(const Config& config, RlsServerConfig* out) {
     if (out->lrc.dsn.empty()) {
       return Status::InvalidArgument("lrc_server needs lrc_dsn");
     }
+    out->lrc.wal_recovery = config.GetBool("wal_recovery", false);
     UpdateConfig& update = out->lrc.update;
     Status s = ParseUpdateMode(config.GetString("update_mode", "none"), &update.mode);
     if (!s.ok()) return s;
@@ -116,7 +119,7 @@ Status ConfigureServer(const Config& config, RlsServerConfig* out) {
 
 Status EnsureDatabases(const RlsServerConfig& config, dbapi::Environment& env,
                        const std::string& wal_dir) {
-  auto ensure = [&](const std::string& dsn) -> Status {
+  auto ensure = [&](const std::string& dsn, bool wal_recovery) -> Status {
     if (dsn.empty() || env.Find(dsn)) return Status::Ok();
     std::string wal;
     if (!wal_dir.empty()) {
@@ -126,11 +129,24 @@ Status EnsureDatabases(const RlsServerConfig& config, dbapi::Environment& env,
       }
       wal = wal_dir + "/" + file + ".wal";
     }
-    return env.CreateDatabase(dsn, wal);
+    if (!wal_recovery) return env.CreateDatabase(dsn, wal);
+    // Crash-safe profile: framed WAL + replay (needs a real file).
+    rdb::BackendKind kind;
+    std::string name;
+    Status s = dbapi::ParseDsn(dsn, &kind, &name);
+    if (!s.ok()) return s;
+    rdb::BackendProfile profile = kind == rdb::BackendKind::kPostgreSQL
+                                      ? rdb::BackendProfile::PostgreSQL()
+                                      : rdb::BackendProfile::MySQL();
+    profile.wal_recovery = true;
+    return env.CreateDatabaseWithProfile(dsn, profile, wal);
   };
-  Status s = ensure(config.lrc.enabled ? config.lrc.dsn : "");
+  Status s = ensure(config.lrc.enabled ? config.lrc.dsn : "",
+                    config.lrc.wal_recovery);
   if (!s.ok()) return s;
-  return ensure(config.rli.enabled ? config.rli.dsn : "");
+  // RLI relational state is soft state (rebuilt by LRC updates): legacy
+  // WAL profile always.
+  return ensure(config.rli.enabled ? config.rli.dsn : "", false);
 }
 
 Status Topology::Create(const Config& config, net::Network* network,
@@ -142,6 +158,7 @@ Status Topology::Create(const Config& config, net::Network* network,
   std::vector<std::string> order;  // declaration order = start order
   static const char* kKeys[] = {
       "address", "url", "lrc_server", "rli_server", "lrc_dsn", "rli_dsn",
+      "wal_recovery",
       "rli_bloomfilter", "rli_timeout_s", "rli_expire_poll_ms", "rli_parent",
       "update_mode", "update_rli", "update_full_interval_ms",
       "update_immediate_interval_ms", "update_buffer_count", "update_chunk_size",

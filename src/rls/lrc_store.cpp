@@ -90,6 +90,15 @@ Status LrcStore::Create(dbapi::Environment& env, const std::string& dsn,
   std::unique_ptr<LrcStore> store(new LrcStore(env, dsn));
   Status s = store->InitSchema();
   if (!s.ok()) return s;
+  // Replay the WAL once the schema exists (DDL is not logged; only row
+  // mutations are). No-op unless the profile enables wal_recovery. The
+  // RLI's relational store is intentionally NOT recovered: RLI state is
+  // soft state the paper rebuilds from LRC updates (§2).
+  store->db_ = env.Find(dsn);
+  if (store->db_) {
+    s = store->db_->Recover();
+    if (!s.ok()) return s;
+  }
   *out = std::move(store);
   return Status::Ok();
 }

@@ -107,6 +107,9 @@ class LrcStore {
 
   dbapi::ConnectionPool& pool() const { return pool_; }
 
+  /// The database behind the pool's DSN (recovery stats, WAL metrics).
+  rdb::Database* database() const { return db_; }
+
  private:
   LrcStore(dbapi::Environment& env, const std::string& dsn) : pool_(env, dsn) {}
 
@@ -130,6 +133,7 @@ class LrcStore {
                                   bool create_new);
 
   mutable dbapi::ConnectionPool pool_;
+  rdb::Database* db_ = nullptr;  // set by Create after recovery
   /// Serializes mutating transactions. The SQL engine locks per
   /// statement, so multi-statement read-modify-write sequences (shared
   /// target-name reference counts) need store-level serialization —

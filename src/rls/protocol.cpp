@@ -509,6 +509,14 @@ void GetStatsResponse::Encode(std::string* out) const {
   w.U64(trace_depth);
   w.U64(trace_dropped);
   w.U64(trace_capacity);
+  w.U8(wal.enabled);
+  w.U64(wal.recovered_txns);
+  w.U64(wal.records_applied);
+  w.U64(wal.snapshot_rows);
+  w.U64(wal.torn_tail_bytes);
+  w.U64(wal.checksum_failures);
+  w.U64(wal.last_lsn);
+  w.U64(wal.recover_micros);
   w.U32(static_cast<uint32_t>(targets.size()));
   for (const TargetStatus& t : targets) t.Encode(&w);
   w.U32(static_cast<uint32_t>(metrics.size()));
@@ -541,6 +549,13 @@ Status GetStatsResponse::Decode(std::string_view data, GetStatsResponse* out) {
       !r.U64(&out->last_update_trace_id) || !r.U64(&out->trace_depth) ||
       !r.U64(&out->trace_dropped) || !r.U64(&out->trace_capacity)) {
     return TruncatedMessage("get stats header");
+  }
+  if (!r.U8(&out->wal.enabled) || !r.U64(&out->wal.recovered_txns) ||
+      !r.U64(&out->wal.records_applied) || !r.U64(&out->wal.snapshot_rows) ||
+      !r.U64(&out->wal.torn_tail_bytes) ||
+      !r.U64(&out->wal.checksum_failures) || !r.U64(&out->wal.last_lsn) ||
+      !r.U64(&out->wal.recover_micros)) {
+    return TruncatedMessage("get stats wal recovery status");
   }
   uint32_t target_count = 0;
   if (!r.U32(&target_count)) return TruncatedMessage("target count");

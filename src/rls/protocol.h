@@ -292,6 +292,19 @@ struct TargetStatus {
 
 /// Full introspection snapshot: vitals + per-target freshness + every
 /// registry instrument.
+/// What open-time WAL replay did on the server's LRC database. All-zero
+/// with enabled=0 when the server runs the legacy bytes-only WAL profile.
+struct WalRecoveryStatus {
+  uint8_t enabled = 0;           // crash-safe WAL profile active
+  uint64_t recovered_txns = 0;   // committed transactions replayed at open
+  uint64_t records_applied = 0;  // row mutations reapplied
+  uint64_t snapshot_rows = 0;    // rows restored from the checkpoint sidecar
+  uint64_t torn_tail_bytes = 0;  // bytes dropped at the torn/corrupt tail
+  uint64_t checksum_failures = 0;
+  uint64_t last_lsn = 0;         // highest LSN seen (replayed or committed)
+  uint64_t recover_micros = 0;   // wall time of open-time replay
+};
+
 struct GetStatsResponse {
   std::string role;  // "lrc", "rli", "lrc+rli"
   double uptime_seconds = 0;
@@ -305,6 +318,7 @@ struct GetStatsResponse {
   uint64_t trace_depth = 0;
   uint64_t trace_dropped = 0;
   uint64_t trace_capacity = 0;
+  WalRecoveryStatus wal;
   std::vector<TargetStatus> targets;
   std::vector<MetricSample> metrics;
 

@@ -185,6 +185,19 @@ void RlsServer::RegisterGauges() {
       return static_cast<double>(lrc_store_->MappingCount());
     });
   }
+  if (lrc_store_ && lrc_store_->database()) {
+    rdb::Database* db = lrc_store_->database();
+    registry_.RegisterCallback("wal_recovered_txns", "", [db] {
+      return static_cast<double>(db->recovery_stats().recovered_txns);
+    });
+    registry_.RegisterCallback("wal_torn_tail_bytes", "", [db] {
+      return static_cast<double>(db->recovery_stats().torn_tail_bytes);
+    });
+    registry_.RegisterCallback("wal_checksum_failures", "", [db] {
+      return static_cast<double>(db->recovery_stats().checksum_failures +
+                                 db->wal().checksum_failures());
+    });
+  }
   if (rli_relational_) {
     registry_.RegisterCallback("rli_associations", "", [this] {
       return static_cast<double>(rli_relational_->AssociationCount());
@@ -208,6 +221,9 @@ void RlsServer::UnregisterGauges() {
   registry_.UnregisterCallback("threadpool_queue_depth", "");
   registry_.UnregisterCallback("lrc_logical_names", "");
   registry_.UnregisterCallback("lrc_mappings", "");
+  registry_.UnregisterCallback("wal_recovered_txns", "");
+  registry_.UnregisterCallback("wal_torn_tail_bytes", "");
+  registry_.UnregisterCallback("wal_checksum_failures", "");
   registry_.UnregisterCallback("rli_associations", "");
   registry_.UnregisterCallback("rli_bloom_filters", "");
   registry_.UnregisterCallback("trace_recorder_depth", "");
@@ -236,6 +252,19 @@ GetStatsResponse RlsServer::GetStatsSnapshot() const {
   resp.trace_depth = rstats.depth;
   resp.trace_dropped = rstats.dropped;
   resp.trace_capacity = rstats.capacity;
+  if (lrc_store_ && lrc_store_->database()) {
+    rdb::Database* db = lrc_store_->database();
+    const rdb::RecoveryStats& rec = db->recovery_stats();
+    resp.wal.enabled = rec.enabled ? 1 : 0;
+    resp.wal.recovered_txns = rec.recovered_txns;
+    resp.wal.records_applied = rec.records_applied;
+    resp.wal.snapshot_rows = rec.snapshot_rows;
+    resp.wal.torn_tail_bytes = rec.torn_tail_bytes;
+    resp.wal.checksum_failures =
+        rec.checksum_failures + db->wal().checksum_failures();
+    resp.wal.last_lsn = db->wal().last_lsn();
+    resp.wal.recover_micros = rec.recover_micros;
+  }
   if (update_manager_) {
     for (const TargetFreshness& f : update_manager_->TargetStatuses()) {
       resp.targets.push_back(TargetStatus{f.address, f.updates_sent,

@@ -55,6 +55,10 @@ struct LrcRoleConfig {
   bool enabled = false;
   std::string dsn;
   UpdateConfig update;
+  /// Crash-safe WAL profile for the LRC database: framed checksummed
+  /// records, checkpoint-at-wrap, open-time replay (config key
+  /// `wal_recovery`). Off = the legacy bytes-only flush model.
+  bool wal_recovery = false;
 };
 
 struct ObsConfig {

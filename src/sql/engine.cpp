@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "common/trace_context.h"
+#include "rdb/wal_record.h"
 #include "sql/parser.h"
 
 namespace sql {
@@ -280,16 +281,6 @@ class TableLocks {
   std::vector<Entry> entries_;
   bool held_ = false;
 };
-
-/// Serializes a WAL record for one row mutation.
-void AppendWalRecord(std::string* buffer, char tag, const std::string& table,
-                     const Row& row) {
-  buffer->push_back(tag);
-  buffer->push_back(static_cast<char>(table.size()));
-  buffer->append(table);
-  rdb::EncodeRow(row, buffer);
-  buffer->push_back('\n');
-}
 
 }  // namespace
 
@@ -614,7 +605,9 @@ Status Engine::ExecInsert(const InsertStmt& stmt, const std::vector<Value>& para
         }
       }
       session->undo_.push_back({UndoRecord::Kind::kInsert, stmt.table, row, {}});
-      AppendWalRecord(&session->wal_buffer_, 'I', stmt.table, row);
+      // The logged image carries the assigned auto-increment id, so WAL
+      // replay re-inserts the identical row.
+      rdb::AppendInsertRecord(stmt.table, row, &session->wal_buffer_);
     }
   }
   result->affected = inserted.size();
@@ -719,7 +712,9 @@ Status Engine::ExecUpdate(const UpdateStmt& stmt, const std::vector<Value>& para
     if (!s.ok()) return s;
     if (session) {
       session->undo_.push_back({UndoRecord::Kind::kUpdate, stmt.table, new_row, old_row});
-      AppendWalRecord(&session->wal_buffer_, 'U', stmt.table, new_row);
+      // Both images: replay locates the row by its old value before
+      // installing the new one.
+      rdb::AppendUpdateRecord(stmt.table, old_row, new_row, &session->wal_buffer_);
     }
     ++result->affected;
   }
@@ -744,7 +739,7 @@ Status Engine::ExecDelete(const DeleteStmt& stmt, const std::vector<Value>& para
     if (!s.ok()) return s;
     if (session) {
       session->undo_.push_back({UndoRecord::Kind::kDelete, stmt.table, {}, old_row});
-      AppendWalRecord(&session->wal_buffer_, 'D', stmt.table, old_row);
+      rdb::AppendDeleteRecord(stmt.table, old_row, &session->wal_buffer_);
     }
     ++result->affected;
   }
@@ -810,46 +805,6 @@ Status Engine::CommitWal(Session* session) {
   return s;
 }
 
-namespace {
-
-/// Deletes one live row whose values equal `image`. Uses a unique hash
-/// index when one exists; falls back to a scan. The caller holds the
-/// exclusive lock.
-Status DeleteRowByValue(Table* table, const Row& image) {
-  const rdb::TableSchema& schema = table->schema();
-  // Try a unique index: any column whose hash index is unique.
-  for (std::size_t c = 0; c < schema.num_columns(); ++c) {
-    const rdb::HashIndex* idx = table->FindHashIndex(schema.columns()[c].name);
-    if (!idx || !idx->unique()) continue;
-    std::vector<Rid> rids;
-    idx->Lookup(image[c], &rids);
-    for (Rid rid : rids) {
-      Row row;
-      if (table->IsLive(rid) && table->ReadRow(rid, &row).ok() && row == image) {
-        return table->Delete(rid);
-      }
-    }
-    return Status::NotFound("undo target row not found by unique index");
-  }
-  // Scan fallback.
-  Rid found;
-  bool have = false;
-  table->Scan([&](Rid rid, rdb::SlotState st) {
-    if (st != rdb::SlotState::kLive) return true;
-    Row row;
-    if (table->ReadRow(rid, &row).ok() && row == image) {
-      found = rid;
-      have = true;
-      return false;
-    }
-    return true;
-  });
-  if (!have) return Status::NotFound("undo target row not found by scan");
-  return table->Delete(found);
-}
-
-}  // namespace
-
 Status Engine::ApplyUndo(Session* session, std::size_t down_to) {
   Status first_error = Status::Ok();
   while (session->undo_.size() > down_to) {
@@ -861,13 +816,13 @@ Status Engine::ApplyUndo(Session* session, std::size_t down_to) {
     Status s;
     switch (rec.kind) {
       case UndoRecord::Kind::kInsert:
-        s = DeleteRowByValue(table, rec.row);
+        s = table->DeleteByValue(rec.row);
         break;
       case UndoRecord::Kind::kDelete:
         s = table->Insert(std::move(rec.old_row), nullptr, nullptr);
         break;
       case UndoRecord::Kind::kUpdate: {
-        s = DeleteRowByValue(table, rec.row);
+        s = table->DeleteByValue(rec.row);
         if (s.ok()) s = table->Insert(std::move(rec.old_row), nullptr, nullptr);
         break;
       }

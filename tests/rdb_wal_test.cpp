@@ -1,15 +1,26 @@
-// WAL recycle-wrap boundary tests. The log wraps to offset 0 once a
-// commit pushes the file past the recycle threshold (a checkpointing
-// stand-in); these tests drive that boundary with a tiny threshold
-// instead of the production 256 MB.
+// WAL tests.
+//
+// Legacy mode: recycle-wrap boundary behavior (the log wraps to offset 0
+// once a commit pushes the file past the recycle threshold), driven with
+// a tiny threshold instead of the production 256 MB.
+//
+// Recovery mode: framed commits, torn-tail truncation, checksum
+// rejection, checkpoint-at-wrap, and the fail-stop storage failure
+// policy, driven through the seeded StorageFaultInjector.
 #include "rdb/wal.h"
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "rdb/storage_fault.h"
 
 namespace rdb {
 namespace {
@@ -22,6 +33,37 @@ std::string TestPath(const std::string& name) {
 uint64_t FileSize(const std::string& path) {
   struct stat st {};
   return ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size) : 0;
+}
+
+/// Recovery-mode logs persist on close by design; tests clean up.
+void RemoveWalFiles(const std::string& path) {
+  ::unlink(path.c_str());
+  ::unlink((path + ".ckpt").c_str());
+  ::unlink((path + ".ckpt.tmp").c_str());
+}
+
+WalOptions RecoveryOptions(uint64_t recycle_bytes,
+                           StorageFaultInjector* fault = nullptr) {
+  WalOptions options;
+  options.recycle_bytes = recycle_bytes;
+  options.recovery = true;
+  options.fault = fault;
+  return options;
+}
+
+/// Runs a recovery scan collecting (lsn, payload) pairs.
+std::vector<std::pair<uint64_t, std::string>> Replay(Wal* wal,
+                                                     uint64_t base_lsn,
+                                                     WalRecoverResult* result) {
+  std::vector<std::pair<uint64_t, std::string>> frames;
+  EXPECT_TRUE(wal->Recover(base_lsn,
+                           [&](uint64_t lsn, std::string_view payload) {
+                             frames.emplace_back(lsn, std::string(payload));
+                             return rlscommon::Status::Ok();
+                           },
+                           result)
+                  .ok());
+  return frames;
 }
 
 TEST(WalRecycleTest, WrapsPastThreshold) {
@@ -89,6 +131,266 @@ TEST(WalRecycleTest, DefaultThresholdIsProductionSized) {
   Wal wal("");
   EXPECT_EQ(wal.recycle_bytes(), Wal::kRecycleBytes);
   EXPECT_EQ(Wal::kRecycleBytes, 256ull << 20);
+}
+
+// --------------------------------------------------------------------
+// Recovery mode
+// --------------------------------------------------------------------
+
+TEST(WalRecoveryTest, FramedCommitsReplayAfterReopen) {
+  const std::string path = TestPath("wal_rec_roundtrip");
+  RemoveWalFiles(path);
+  {
+    Wal wal(path, RecoveryOptions(1 << 20));
+    ASSERT_TRUE(wal.Commit("alpha", true, {}).ok());
+    ASSERT_TRUE(wal.Commit("bravo", true, {}).ok());
+    ASSERT_TRUE(wal.Commit("charlie", true, {}).ok());
+    EXPECT_EQ(wal.last_lsn(), 3u);
+  }  // close; a recovery log persists
+  Wal wal(path, RecoveryOptions(1 << 20));
+  WalRecoverResult result;
+  const auto frames = Replay(&wal, 0, &result);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], (std::pair<uint64_t, std::string>{1, "alpha"}));
+  EXPECT_EQ(frames[1], (std::pair<uint64_t, std::string>{2, "bravo"}));
+  EXPECT_EQ(frames[2], (std::pair<uint64_t, std::string>{3, "charlie"}));
+  EXPECT_EQ(result.last_lsn, 3u);
+  EXPECT_EQ(result.torn_tail_bytes, 0u);
+  EXPECT_EQ(result.checksum_failures, 0u);
+  // New commits continue the LSN sequence after the replayed prefix.
+  ASSERT_TRUE(wal.Commit("delta", true, {}).ok());
+  EXPECT_EQ(wal.last_lsn(), 4u);
+  RemoveWalFiles(path);
+}
+
+TEST(WalRecoveryTest, TornTailIsTruncatedAndReplayIsIdempotent) {
+  const std::string path = TestPath("wal_rec_torn");
+  RemoveWalFiles(path);
+  const std::string payload(16, 'p');  // frame = 17 + 16 = 33 bytes
+  {
+    Wal wal(path, RecoveryOptions(1 << 20));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(wal.Commit(payload, true, {}).ok());
+    }
+  }
+  ASSERT_EQ(FileSize(path), 99u);
+  // Cut into the third frame's payload: a torn final write.
+  ASSERT_EQ(::truncate(path.c_str(), 80), 0);
+  Wal wal(path, RecoveryOptions(1 << 20));
+  WalRecoverResult result;
+  auto frames = Replay(&wal, 0, &result);
+  EXPECT_EQ(frames.size(), 2u);
+  EXPECT_EQ(result.last_lsn, 2u);
+  EXPECT_EQ(result.torn_tail_bytes, 14u);  // 80 - 66
+  EXPECT_EQ(FileSize(path), 66u);          // repaired to the good prefix
+  // Second scan over the repaired log: same frames, no new torn tail.
+  WalRecoverResult again;
+  frames = Replay(&wal, 0, &again);
+  EXPECT_EQ(frames.size(), 2u);
+  EXPECT_EQ(again.torn_tail_bytes, 0u);
+  RemoveWalFiles(path);
+}
+
+TEST(WalRecoveryTest, ChecksumFailureStopsReplay) {
+  const std::string path = TestPath("wal_rec_crc");
+  RemoveWalFiles(path);
+  const std::string payload(16, 'q');
+  {
+    Wal wal(path, RecoveryOptions(1 << 20));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(wal.Commit(payload, true, {}).ok());
+    }
+  }
+  {  // Flip one payload byte inside the second frame.
+    int fd = ::open(path.c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    const char bad = 'X';
+    ASSERT_EQ(::pwrite(fd, &bad, 1, 33 + 17 + 4), 1);
+    ::close(fd);
+  }
+  Wal wal(path, RecoveryOptions(1 << 20));
+  WalRecoverResult result;
+  const auto frames = Replay(&wal, 0, &result);
+  ASSERT_EQ(frames.size(), 1u);  // frame 1 good; 2 corrupt; 3 unreachable
+  EXPECT_EQ(frames[0].first, 1u);
+  EXPECT_EQ(result.checksum_failures, 1u);
+  EXPECT_EQ(result.torn_tail_bytes, 66u);  // frames 2 and 3 dropped
+  EXPECT_EQ(wal.checksum_failures(), 1u);
+  EXPECT_EQ(result.last_lsn, 1u);
+  RemoveWalFiles(path);
+}
+
+TEST(WalRecoveryTest, CheckpointAtWrapCarriesPreWrapLsn) {
+  const std::string path = TestPath("wal_rec_wrap");
+  RemoveWalFiles(path);
+  const std::string payload(16, 'w');  // frame = 33 bytes
+  {
+    Wal wal(path, RecoveryOptions(/*recycle_bytes=*/64));
+    wal.SetCheckpointWriter([](uint64_t* rows) {
+      *rows = 7;
+      return std::string("SNAPSHOT");
+    });
+    ASSERT_TRUE(wal.Commit(payload, true, {}).ok());  // file: 33
+    ASSERT_TRUE(wal.Commit(payload, true, {}).ok());  // file: 66 > 64
+    // This commit first checkpoints (sidecar at LSN 2, log truncated,
+    // checkpoint frame), then appends LSN 3.
+    ASSERT_TRUE(wal.Commit(payload, true, {}).ok());
+    EXPECT_EQ(wal.checkpoints(), 1u);
+    EXPECT_EQ(wal.file_bytes(), 17u + 33u);  // checkpoint frame + txn frame
+    EXPECT_EQ(wal.last_lsn(), 3u);
+  }
+  // Reopen: the sidecar holds the pre-wrap state, the log the rest.
+  Wal wal(path, RecoveryOptions(/*recycle_bytes=*/64));
+  std::string snapshot;
+  uint64_t snapshot_lsn = 0;
+  bool present = false;
+  ASSERT_TRUE(wal.ReadCheckpointSidecar(&snapshot, &snapshot_lsn, &present).ok());
+  ASSERT_TRUE(present);
+  EXPECT_EQ(snapshot, "SNAPSHOT");
+  EXPECT_EQ(snapshot_lsn, 2u);
+  WalRecoverResult result;
+  const auto frames = Replay(&wal, snapshot_lsn, &result);
+  ASSERT_EQ(frames.size(), 1u);  // only LSN 3 is beyond the snapshot
+  EXPECT_EQ(frames[0].first, 3u);
+  EXPECT_EQ(result.checkpoint_lsn, 2u);
+  EXPECT_EQ(result.last_lsn, 3u);
+  RemoveWalFiles(path);
+}
+
+TEST(WalRecoveryTest, CorruptSidecarIsReportedAsDataLoss) {
+  const std::string path = TestPath("wal_rec_badckpt");
+  RemoveWalFiles(path);
+  const std::string payload(16, 's');
+  {
+    Wal wal(path, RecoveryOptions(/*recycle_bytes=*/64));
+    wal.SetCheckpointWriter([](uint64_t*) { return std::string("STATE"); });
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(wal.Commit(payload, true, {}).ok());
+    }
+    ASSERT_EQ(wal.checkpoints(), 1u);
+  }
+  {  // Corrupt one snapshot byte; the sidecar CRC must catch it.
+    int fd = ::open((path + ".ckpt").c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    const char bad = '!';
+    ASSERT_EQ(::pwrite(fd, &bad, 1, 21), 1);
+    ::close(fd);
+  }
+  Wal wal(path, RecoveryOptions(/*recycle_bytes=*/64));
+  std::string snapshot;
+  uint64_t lsn = 0;
+  bool present = false;
+  rlscommon::Status s = wal.ReadCheckpointSidecar(&snapshot, &lsn, &present);
+  EXPECT_EQ(s.code(), rlscommon::ErrorCode::kDataLoss);
+  RemoveWalFiles(path);
+}
+
+// --------------------------------------------------------------------
+// Storage failure policy (satellite of the crash-safety tentpole):
+// write errors are typed, non-retryable DATA_LOSS; a failed sync
+// poisons the log permanently in BOTH modes.
+// --------------------------------------------------------------------
+
+TEST(WalFaultTest, FailedSyncPoisonsRecoveryModeWal) {
+  const std::string path = TestPath("wal_fault_sync_rec");
+  RemoveWalFiles(path);
+  StorageFaultInjector fault(/*seed=*/1);
+  fault.FailNthSync(1, EIO);
+  Wal wal(path, RecoveryOptions(1 << 20, &fault));
+  rlscommon::Status s = wal.Commit("payload", /*durable=*/true, {});
+  EXPECT_EQ(s.code(), rlscommon::ErrorCode::kDataLoss);
+  EXPECT_TRUE(wal.poisoned());
+  // fsyncgate: never retry a failed sync — all later commits fail fast.
+  s = wal.Commit("payload", /*durable=*/true, {});
+  EXPECT_EQ(s.code(), rlscommon::ErrorCode::kDataLoss);
+  s = wal.Commit("payload", /*durable=*/false, {});
+  EXPECT_EQ(s.code(), rlscommon::ErrorCode::kDataLoss);
+  EXPECT_EQ(fault.sync_errors(), 1u);
+  RemoveWalFiles(path);
+}
+
+TEST(WalFaultTest, FailedSyncPoisonsLegacyModeWal) {
+  const std::string path = TestPath("wal_fault_sync_legacy");
+  StorageFaultInjector fault(/*seed=*/1);
+  fault.FailNthSync(1, EIO);
+  WalOptions options;
+  options.fault = &fault;  // legacy mode (recovery=false) with injection
+  Wal wal(path, options);
+  rlscommon::Status s = wal.Commit("payload", /*durable=*/true, {});
+  EXPECT_EQ(s.code(), rlscommon::ErrorCode::kDataLoss);
+  EXPECT_TRUE(wal.poisoned());
+  s = wal.Commit("payload", /*durable=*/true, {});
+  EXPECT_EQ(s.code(), rlscommon::ErrorCode::kDataLoss);
+}
+
+TEST(WalFaultTest, ShortWriteIsRepairedAndNotRetryable) {
+  const std::string path = TestPath("wal_fault_short");
+  RemoveWalFiles(path);
+  StorageFaultInjector fault(/*seed=*/2);
+  Wal wal(path, RecoveryOptions(1 << 20, &fault));
+  ASSERT_TRUE(wal.Commit("first", true, {}).ok());
+  const uint64_t good = wal.file_bytes();
+  // Disk error 5 bytes into the second frame; the process stays alive,
+  // so the Wal truncates the torn frame away.
+  fault.FailWriteAtByte(good + 5, ENOSPC);
+  rlscommon::Status s = wal.Commit("second", true, {});
+  EXPECT_EQ(s.code(), rlscommon::ErrorCode::kDataLoss);
+  EXPECT_FALSE(rlscommon::IsRetryableError(s.code()));
+  EXPECT_FALSE(wal.poisoned());
+  EXPECT_EQ(wal.file_bytes(), good);
+  EXPECT_EQ(FileSize(path), good);
+  // The log still works: the failed commit left no partial frame behind.
+  ASSERT_TRUE(wal.Commit("third", true, {}).ok());
+  WalRecoverResult result;
+  Wal reopened(path, RecoveryOptions(1 << 20));
+  const auto frames = Replay(&reopened, 0, &result);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].second, "first");
+  EXPECT_EQ(frames[1].second, "third");
+  RemoveWalFiles(path);
+}
+
+TEST(WalFaultTest, LegacyWriteErrorIsDataLoss) {
+  const std::string path = TestPath("wal_fault_legacy_write");
+  StorageFaultInjector fault(/*seed=*/3);
+  fault.FailWriteAtByte(0, EIO);
+  WalOptions options;
+  options.fault = &fault;
+  Wal wal(path, options);
+  rlscommon::Status s = wal.Commit("payload", /*durable=*/false, {});
+  EXPECT_EQ(s.code(), rlscommon::ErrorCode::kDataLoss);
+  EXPECT_FALSE(rlscommon::IsRetryableError(s.code()));
+}
+
+TEST(WalFaultTest, CrashLeavesTornFrameForRecovery) {
+  const std::string path = TestPath("wal_fault_crash");
+  RemoveWalFiles(path);
+  StorageFaultInjector fault(/*seed=*/4);
+  uint64_t good = 0;
+  {
+    Wal wal(path, RecoveryOptions(1 << 20, &fault));
+    ASSERT_TRUE(wal.Commit("committed", true, {}).ok());
+    good = wal.file_bytes();
+    // Power cut 9 bytes into the next frame: the torn bytes stay on
+    // disk (no repair — the machine is "dead") and the Wal poisons.
+    fault.CrashAtByte(good + 9);
+    rlscommon::Status s = wal.Commit("lost-transaction", true, {});
+    EXPECT_EQ(s.code(), rlscommon::ErrorCode::kDataLoss);
+    EXPECT_TRUE(fault.crashed());
+    EXPECT_TRUE(wal.poisoned());
+    s = wal.Commit("after-crash", true, {});
+    EXPECT_EQ(s.code(), rlscommon::ErrorCode::kDataLoss);
+  }
+  ASSERT_EQ(FileSize(path), good + 9);  // torn frame present on disk
+  // "Reboot": recovery finds the committed prefix, drops the torn tail.
+  Wal wal(path, RecoveryOptions(1 << 20));
+  WalRecoverResult result;
+  const auto frames = Replay(&wal, 0, &result);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].second, "committed");
+  EXPECT_EQ(result.torn_tail_bytes, 9u);
+  EXPECT_EQ(FileSize(path), good);
+  RemoveWalFiles(path);
 }
 
 }  // namespace
