@@ -86,6 +86,14 @@ void Table::Print() const {
 }
 
 Testbed::Testbed() {
+  // RLS_TRANSPORT selects the fabric (inproc default, tcp://127.0.0.1
+  // for the socket stack); same binary, same logical addresses.
+  const char* transport_uri = std::getenv("RLS_TRANSPORT");
+  network_ = net::MakeTransport(transport_uri ? transport_uri : "");
+  if (!network_) {
+    std::fprintf(stderr, "unknown RLS_TRANSPORT '%s'\n", transport_uri);
+    std::abort();
+  }
   // Opt-in request tracing: RLS_TRACE_JSON=<path> turns the flight
   // recorder on for the whole run and dumps a Chrome-trace/Perfetto
   // JSON file at teardown (load in chrome://tracing or ui.perfetto.dev).
@@ -176,7 +184,7 @@ rls::RlsServer* Testbed::StartLrc(const std::string& address,
     std::fprintf(stderr, "cannot create database %s\n", config.lrc.dsn.c_str());
     std::abort();
   }
-  auto server = std::make_unique<rls::RlsServer>(&network_, config, &env_);
+  auto server = std::make_unique<rls::RlsServer>(network_.get(), config, &env_);
   if (!server->Start().ok()) {
     std::fprintf(stderr, "cannot start LRC %s\n", address.c_str());
     std::abort();
@@ -199,7 +207,7 @@ rls::RlsServer* Testbed::StartRli(const std::string& address, bool with_database
       std::abort();
     }
   }
-  auto server = std::make_unique<rls::RlsServer>(&network_, config, &env_);
+  auto server = std::make_unique<rls::RlsServer>(network_.get(), config, &env_);
   if (!server->Start().ok()) {
     std::fprintf(stderr, "cannot start RLI %s\n", address.c_str());
     std::abort();
@@ -222,7 +230,7 @@ void Testbed::Preload(rls::RlsServer* lrc, uint64_t count, const std::string& co
 namespace {
 
 template <typename Client>
-double RunLoad(net::Network* network, const std::string& address, int clients,
+double RunLoad(net::Transport* network, const std::string& address, int clients,
                int threads_per_client, uint64_t ops_per_worker,
                const std::function<void(Client&, uint64_t, uint64_t)>& op,
                net::LinkModel link) {
@@ -259,7 +267,7 @@ double RunLoad(net::Network* network, const std::string& address, int clients,
 
 }  // namespace
 
-double RunLrcLoad(net::Network* network, const std::string& address, int clients,
+double RunLrcLoad(net::Transport* network, const std::string& address, int clients,
                   int threads_per_client, uint64_t ops_per_worker,
                   const std::function<void(rls::LrcClient&, uint64_t, uint64_t)>& op,
                   net::LinkModel link) {
@@ -267,7 +275,7 @@ double RunLrcLoad(net::Network* network, const std::string& address, int clients
                                  ops_per_worker, op, link);
 }
 
-double RunRliLoad(net::Network* network, const std::string& address, int clients,
+double RunRliLoad(net::Transport* network, const std::string& address, int clients,
                   int threads_per_client, uint64_t ops_per_worker,
                   const std::function<void(rls::RliClient&, uint64_t, uint64_t)>& op,
                   net::LinkModel link) {

@@ -54,7 +54,11 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// One in-process "testbed": network + database environment + servers.
+/// One "testbed": transport + database environment + servers.
+///
+/// The transport comes from RLS_TRANSPORT ("inproc" default,
+/// "tcp://127.0.0.1" for a real socket stack), so every bench produces
+/// its curve on either fabric from the same binary.
 ///
 /// When RLS_BENCH_JSON names a file, the destructor appends one JSON
 /// line per server — the full obs registry snapshot plus vitals — so
@@ -65,7 +69,7 @@ class Testbed {
   Testbed();
   ~Testbed();
 
-  net::Network* network() { return &network_; }
+  net::Transport* network() { return network_.get(); }
   dbapi::Environment* env() { return &env_; }
 
   /// Starts an LRC server. `profile` selects the back-end behaviour
@@ -88,7 +92,7 @@ class Testbed {
  private:
   void WriteServerSnapshots();
 
-  net::Network network_;
+  std::unique_ptr<net::Transport> network_;
   dbapi::Environment env_;
   std::vector<std::unique_ptr<rls::RlsServer>> servers_;
   int next_db_ = 0;
@@ -104,13 +108,13 @@ class Testbed {
 /// `link` defaults to the paper's 100 Mbit/s LAN: every call pays the
 /// LAN round trip, so rates climb with the thread count until the server
 /// saturates (the shape of Figs. 4-7 and 9-11).
-double RunLrcLoad(net::Network* network, const std::string& address, int clients,
+double RunLrcLoad(net::Transport* network, const std::string& address, int clients,
                   int threads_per_client, uint64_t ops_per_worker,
                   const std::function<void(rls::LrcClient&, uint64_t, uint64_t)>& op,
                   net::LinkModel link = net::LinkModel::Lan100Mbit());
 
 /// Same driver against the RLI role.
-double RunRliLoad(net::Network* network, const std::string& address, int clients,
+double RunRliLoad(net::Transport* network, const std::string& address, int clients,
                   int threads_per_client, uint64_t ops_per_worker,
                   const std::function<void(rls::RliClient&, uint64_t, uint64_t)>& op,
                   net::LinkModel link = net::LinkModel::Lan100Mbit());

@@ -1,0 +1,88 @@
+// rls_serverd: the RLS server as a standalone OS process.
+//
+//   build/examples/rls_serverd <topology.conf>
+//   build/examples/rls_serverd            # built-in single LRC+RLI on TCP
+//
+// Parses a globus-rls-server.conf-style topology file, builds the
+// transport from its `transport` key (or RLS_TRANSPORT; `tcp://0.0.0.0`
+// binds real sockets), starts every server, prints each one's resolved
+// listen endpoint, and blocks until SIGINT/SIGTERM. With the TCP
+// transport this is the first half of a real two-process deployment —
+// point rls_ctl at any printed tcp://ip:port from another process.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/config.h"
+#include "rls/bootstrap.h"
+
+using rlscommon::Config;
+using rlscommon::ThrowIfError;
+
+namespace {
+
+constexpr const char* kDefaultTopology = R"(
+# One LRC feeding one RLI, both listening on loopback TCP.
+transport tcp://127.0.0.1
+
+servers rli0 lrc0
+
+server.rli0.address      rls://rli0
+server.rli0.rli_server   true
+server.rli0.rli_dsn      mysql://serverd_rli0
+
+server.lrc0.address      rls://lrc0
+server.lrc0.lrc_server   true
+server.lrc0.lrc_dsn      mysql://serverd_lrc0
+server.lrc0.update_mode  immediate
+server.lrc0.update_rli   rls://rli0
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  if (argc > 1) {
+    ThrowIfError(Config::ParseFile(argv[1], &config));
+  } else {
+    ThrowIfError(Config::ParseString(kDefaultTopology, &config));
+    std::printf("no config file given; using the built-in demo topology\n");
+  }
+
+  // Block the shutdown signals before any thread spawns so the transport
+  // and server threads inherit the mask and only main() sees them.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  sigprocmask(SIG_BLOCK, &mask, nullptr);
+
+  std::unique_ptr<net::Transport> transport;
+  ThrowIfError(rls::MakeTransportFromConfig(config, &transport));
+
+  dbapi::Environment env;
+  std::unique_ptr<rls::Topology> topology;
+  ThrowIfError(rls::Topology::Create(config, transport.get(), &env, &topology));
+
+  std::printf("rls_serverd: %zu server(s) up\n", topology->size());
+  for (const std::string& name : topology->ServerNames()) {
+    rls::RlsServer* server = topology->Find(name);
+    const std::string resolved = transport->ListenAddress(server->address());
+    if (!resolved.empty() && resolved != server->address()) {
+      std::printf("  %-8s %-24s -> tcp://%s\n", name.c_str(),
+                  server->address().c_str(), resolved.c_str());
+    } else {
+      std::printf("  %-8s %s\n", name.c_str(), server->address().c_str());
+    }
+  }
+  std::printf("ready (pid %d); Ctrl-C or SIGTERM to stop\n", getpid());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&mask, &sig);
+  std::printf("rls_serverd: caught signal %d, shutting down\n", sig);
+  topology->StopAll();
+  return 0;
+}

@@ -60,6 +60,26 @@ run_bench_gate() {  # $1 = output mode: "compare" or "rebaseline"
         "$json" --tolerance 0.15
     fi
   done
+  # The socket hot path: the same fig06 binary over the TCP transport
+  # (RLS_TRANSPORT selects the fabric at run time), so the bench
+  # trajectory tracks the epoll/frame-codec stack alongside the
+  # in-process numbers.
+  json="$dir/BENCH_fig06_tcp.json"
+  rm -f "$json"
+  echo "=== [bench] bench_fig06_lrc_ops_multiclient (tcp://127.0.0.1)"
+  env "${BENCH_GATE_ENV[@]}" RLS_TRANSPORT=tcp://127.0.0.1 \
+    RLS_BENCH_JSON="$json" \
+    "$dir/bench/bench_fig06_lrc_ops_multiclient" >/dev/null
+  if [ "$1" = rebaseline ]; then
+    cp "$json" bench/baselines/BENCH_fig06_tcp.json
+    echo "=== [bench] pinned bench/baselines/BENCH_fig06_tcp.json"
+  else
+    # Real-socket latencies carry syscall/scheduler jitter the in-process
+    # runs don't (~±20% run-to-run at this single-trial gate scale), so
+    # the TCP series gets a wider band than the 15% in-process gate.
+    python3 scripts/bench_compare.py bench/baselines/BENCH_fig06_tcp.json \
+      "$json" --tolerance 0.30
+  fi
 }
 
 run_crash_gate() {
@@ -145,6 +165,14 @@ for config in "${configs[@]}"; do
   cmake --build "$dir" -j
   echo "=== [$config] ctest"
   ctest --test-dir "$dir" --output-on-failure -j"$(nproc)"
+  if [ "$config" = thread ]; then
+    # The TCP event loop and async client multiplexer are the raciest
+    # code in the tree; make their TSan pass an explicit gate (these
+    # also ran in the full suite above — this re-run is the named gate
+    # so a filter typo can't silently drop them).
+    echo "=== [$config] TCP transport gate (tcp_transport_test + chaos Tcp)"
+    ctest --test-dir "$dir" --output-on-failure -R 'Tcp'
+  fi
 done
 
 echo "=== all configurations passed"

@@ -36,8 +36,8 @@ Status DecodeError(std::string_view payload) {
   return status;
 }
 
-RpcServer::RpcServer(Network* network, std::string address, ServerOptions options,
-                     RpcHandler handler)
+RpcServer::RpcServer(Transport* network, std::string address,
+                     ServerOptions options, RpcHandler handler)
     : network_(network),
       address_(std::move(address)),
       options_(std::move(options)),
@@ -272,7 +272,9 @@ void RpcServer::ExecuteRequest(const std::shared_ptr<Connection>& conn,
     reply.payload.clear();
     EncodeError(status, &reply.payload);
   }
-  conn->Send(std::move(reply));
+  // A failed reply send means the peer is gone; nothing more to do.
+  const Status send_status = conn->Send(std::move(reply));
+  (void)send_status;
   if (span) {
     span->End("reply");
     if (metrics) RecordStageLatencies(metrics, *span, msg.trace_id);
@@ -382,7 +384,64 @@ void RpcServer::ServeConnection(std::shared_ptr<Connection> conn) {
   conn->Close();
 }
 
-Status RpcClient::Connect(Network* network, const std::string& address,
+namespace {
+
+/// Completes one call exactly once: latches the result, wakes waiters,
+/// fires callbacks (outside the state lock).
+void Complete(const std::shared_ptr<detail::CallState>& state, Status status,
+              std::string response) {
+  std::vector<std::function<void(const Status&, const std::string&)>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->done) return;
+    state->done = true;
+    state->status = std::move(status);
+    state->response = std::move(response);
+    callbacks.swap(state->callbacks);
+  }
+  state->cv.notify_all();
+  for (auto& fn : callbacks) fn(state->status, state->response);
+}
+
+}  // namespace
+
+bool Future::done() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+Status Future::Wait(std::string* response) {
+  if (!state_) return Status::Internal("wait on an invalid future");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  if (state_->has_deadline) {
+    if (!state_->cv.wait_until(lock, state_->deadline,
+                               [&] { return state_->done; })) {
+      return Status::Timeout("rpc deadline exceeded calling " + state_->target);
+    }
+  } else {
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+  if (state_->status.ok() && response) *response = state_->response;
+  return state_->status;
+}
+
+void Future::Then(
+    std::function<void(const Status&, const std::string&)> fn) {
+  if (!state_) return;
+  bool fire_now = false;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->done) {
+      fire_now = true;
+    } else {
+      state_->callbacks.push_back(std::move(fn));
+    }
+  }
+  if (fire_now) fn(state_->status, state_->response);
+}
+
+Status RpcClient::Connect(Transport* network, const std::string& address,
                           const ClientOptions& options,
                           std::unique_ptr<RpcClient>* out) {
   std::unique_ptr<RpcClient> client(
@@ -396,12 +455,81 @@ Status RpcClient::Connect(Network* network, const std::string& address,
   return Status::Ok();
 }
 
-Status RpcClient::EnsureConnected() {
-  if (conn_ && !conn_->closed()) return Status::Ok();
+RpcClient::~RpcClient() { Close(); }
+
+void RpcClient::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RetireConnectionLocked();
+}
+
+uint64_t RpcClient::bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_sent_prior_ + (conn_ ? conn_->bytes_sent() : 0);
+}
+
+void RpcClient::RetireConnectionLocked() {
   if (conn_) {
+    conn_->Close();
     bytes_sent_prior_ += conn_->bytes_sent();
-    conn_.reset();
   }
+  // The receiver notices the close, fails this epoch's pending calls
+  // UNAVAILABLE, and exits.
+  if (receiver_.joinable()) receiver_.join();
+  conn_.reset();
+}
+
+uint32_t RpcClient::NextRequestIdLocked() {
+  uint32_t id = next_request_id_++;
+  if (id == 0) id = next_request_id_++;  // skip 0 on wrap
+  return id;
+}
+
+void RpcClient::FailPendingForEpoch(uint64_t epoch, const Status& status) {
+  std::vector<std::shared_ptr<detail::CallState>> failed;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.epoch == epoch) {
+        failed.push_back(std::move(it->second.state));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& state : failed) Complete(state, status, "");
+}
+
+void RpcClient::ReceiverLoop(std::shared_ptr<Connection> conn, uint64_t epoch) {
+  Message msg;
+  while (conn->Recv(&msg).ok()) {
+    if (!msg.is_response()) continue;
+    std::shared_ptr<detail::CallState> state;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      auto it = pending_.find(msg.request_id);
+      // Only complete calls issued on this connection: a response
+      // surfacing from a retired epoch must not complete a newer call
+      // that happens to reuse the id.
+      if (it != pending_.end() && it->second.epoch == epoch) {
+        state = std::move(it->second.state);
+        pending_.erase(it);
+      }
+    }
+    if (!state) continue;  // stale or unknown response — discard
+    if (msg.is_error()) {
+      Complete(state, DecodeError(msg.payload), "");
+    } else {
+      Complete(state, Status::Ok(), std::move(msg.payload));
+    }
+  }
+  FailPendingForEpoch(
+      epoch, Status::Unavailable("connection closed to " + address_));
+}
+
+Status RpcClient::EnsureConnectedLocked() {
+  if (conn_ && !conn_->closed()) return Status::Ok();
+  RetireConnectionLocked();
   ConnectionPtr conn;
   Status s = network_->Connect(address_, options_.link, &conn,
                                options_.identity);
@@ -413,41 +541,76 @@ Status RpcClient::EnsureConnected() {
     }
     return s;
   }
-  conn_ = std::move(conn);
+  conn_ = std::shared_ptr<Connection>(conn.release());
+  const uint64_t epoch = ++epoch_;
+  std::shared_ptr<Connection> shared = conn_;
+  receiver_ = std::thread(
+      [this, shared, epoch] { ReceiverLoop(std::move(shared), epoch); });
   if (ever_connected_) {
-    ++reconnects_;
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
     if (options_.metrics) {
       options_.metrics->GetCounter("rpc_client_reconnects_total")->Increment();
     }
-    // Re-authenticate on the fresh connection. Do it inline (not via
-    // Call) to avoid recursing into the retry loop.
+    // Re-authenticate on the fresh connection as a pending call (the
+    // receiver completes it), waiting here so no later call outruns the
+    // handshake. Inline rather than via Call() to avoid recursing into
+    // the retry loop.
+    auto state = std::make_shared<detail::CallState>();
+    state->target = address_;
+    if (options_.call_timeout.count() > 0) {
+      state->has_deadline = true;
+      state->deadline =
+          rlscommon::SystemClock::Instance()->Now() +
+          std::chrono::duration_cast<rlscommon::Duration>(options_.call_timeout);
+    }
     Message auth;
-    auth.request_id = next_request_id_++;
     auth.opcode = kOpcodeAuth;
     auth.payload = options_.credential.dn;
-    s = conn_->Send(std::move(auth));
-    if (!s.ok()) return s;
-    Message reply;
-    const auto timeout = options_.call_timeout;
-    for (;;) {
-      s = timeout.count() > 0 ? conn_->RecvFor(&reply, timeout)
-                              : conn_->Recv(&reply);
-      if (!s.ok()) return s;
-      if (reply.is_response() && reply.opcode == kOpcodeAuth) break;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      auth.request_id = NextRequestIdLocked();
+      pending_.emplace(auth.request_id, PendingCall{epoch, state});
     }
-    if (reply.is_error()) return DecodeError(reply.payload);
+    const uint32_t auth_id = auth.request_id;
+    s = conn_->Send(std::move(auth));
+    if (!s.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        pending_.erase(auth_id);
+      }
+      return s;
+    }
+    s = Future(state).Wait(nullptr);
+    if (!s.ok()) return s;
   }
   ever_connected_ = true;
   return Status::Ok();
 }
 
-Status RpcClient::CallOnce(uint16_t opcode, const std::string& request,
-                           std::string* response) {
-  Status s = EnsureConnected();
-  if (!s.ok()) return s;
-  const uint32_t request_id = next_request_id_++;
+Future RpcClient::BeginCall(uint16_t opcode, const std::string& request) {
+  auto state = std::make_shared<detail::CallState>();
+  state->target = address_;
+  // The deadline covers send + wait: the link delay charged by Send()
+  // counts against it.
+  if (options_.call_timeout.count() > 0) {
+    state->has_deadline = true;
+    state->deadline =
+        rlscommon::SystemClock::Instance()->Now() +
+        std::chrono::duration_cast<rlscommon::Duration>(options_.call_timeout);
+  }
+  std::shared_ptr<Connection> conn;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status s = EnsureConnectedLocked();
+    if (!s.ok()) {
+      Complete(state, std::move(s), "");
+      return Future(state);
+    }
+    conn = conn_;
+    epoch = epoch_;
+  }
   Message msg;
-  msg.request_id = request_id;
   msg.opcode = opcode;
   msg.payload = request;
   // Propagate the ambient trace, or start a root trace at this edge.
@@ -455,36 +618,21 @@ Status RpcClient::CallOnce(uint16_t opcode, const std::string& request,
   rlscommon::TraceContext trace = rlscommon::CurrentTrace();
   msg.trace_id = trace.valid() ? trace.trace_id : obs::NewTraceId();
   msg.span_id = obs::NewTraceId();
-  // The deadline covers send + wait: the link delay charged by Send()
-  // counts against it.
-  const bool bounded = options_.call_timeout.count() > 0;
-  const rlscommon::TimePoint deadline =
-      rlscommon::SystemClock::Instance()->Now() +
-      std::chrono::duration_cast<rlscommon::Duration>(options_.call_timeout);
-  s = conn_->Send(std::move(msg));
-  if (!s.ok()) return s;
-  Message reply;
-  for (;;) {
-    if (bounded) {
-      const rlscommon::Duration remaining =
-          deadline - rlscommon::SystemClock::Instance()->Now();
-      if (remaining <= rlscommon::Duration::zero()) {
-        return Status::Timeout("rpc deadline exceeded calling " + address_);
-      }
-      s = conn_->RecvFor(&reply, remaining);
-    } else {
-      s = conn_->Recv(&reply);
-    }
-    if (!s.ok()) return s;
-    if (!reply.is_response() || reply.request_id != request_id) {
-      // Stale response from an aborted earlier call — skip it.
-      continue;
-    }
-    break;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    msg.request_id = NextRequestIdLocked();
+    pending_.emplace(msg.request_id, PendingCall{epoch, state});
   }
-  if (reply.is_error()) return DecodeError(reply.payload);
-  if (response) *response = std::move(reply.payload);
-  return Status::Ok();
+  const uint32_t request_id = msg.request_id;
+  Status s = conn->Send(std::move(msg));
+  if (!s.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_.erase(request_id);
+    }
+    Complete(state, std::move(s), "");
+  }
+  return Future(state);
 }
 
 rlscommon::Duration RpcClient::NextBackoff(int attempt) {
@@ -506,22 +654,31 @@ Status RpcClient::Call(uint16_t opcode, const std::string& request,
   const int max_attempts = std::max(1, options_.retry.max_attempts);
   Status s;
   for (int attempt = 1;; ++attempt) {
-    s = CallOnce(opcode, request, response);
+    Future future = BeginCall(opcode, request);
+    s = future.Wait(response);
     if (s.ok() || !rlscommon::IsRetryableError(s.code())) return s;
     if (s.code() == ErrorCode::kTimeout && options_.metrics) {
       options_.metrics->GetCounter("rpc_client_timeouts_total")->Increment();
     }
     if (attempt >= max_attempts) return s;
     // A timed-out connection may still deliver the late response; drop
-    // the connection so the retry starts clean.
-    if (conn_) conn_->Close();
-    ++retries_;
+    // the connection so the retry starts clean (the epoch tag on the
+    // abandoned call keeps the late response from crossing over).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (conn_) conn_->Close();
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
     if (options_.metrics) {
       options_.metrics->GetCounter("rpc_client_retries_total")->Increment();
     }
     // Honor a server-provided retry-after hint (load shedding): never
     // come back sooner than the server asked, whatever the local policy.
-    rlscommon::Duration backoff = NextBackoff(attempt);
+    rlscommon::Duration backoff;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      backoff = NextBackoff(attempt);
+    }
     const rlscommon::Duration hinted =
         std::chrono::duration_cast<rlscommon::Duration>(s.retry_after());
     if (hinted > backoff) backoff = hinted;

@@ -108,7 +108,7 @@ struct ServerOptions {
 
 class RpcServer {
  public:
-  RpcServer(Network* network, std::string address, ServerOptions options,
+  RpcServer(Transport* network, std::string address, ServerOptions options,
             RpcHandler handler);
   ~RpcServer();
 
@@ -187,7 +187,7 @@ class RpcServer {
   rlscommon::Status Enqueue(Pending pending, bool priority);
   void WorkerLoop();
 
-  Network* network_;
+  Transport* network_;
   std::string address_;
   ServerOptions options_;
   RpcHandler handler_;
@@ -260,10 +260,73 @@ struct ClientOptions {
   /// rpc_client_timeouts_total and rpc_client_reconnects_total here.
   /// The registry must outlive the client.
   obs::Registry* metrics = nullptr;
+
+  /// First request id issued (test hook for exercising the id-wrap
+  /// path; ids are monotonic and skip 0 when the counter wraps).
+  uint32_t first_request_id = 1;
 };
 
-/// Blocking RPC client: one outstanding call at a time (use one client
-/// per thread, like the paper's multi-threaded test client).
+namespace detail {
+
+/// Shared completion state behind one Future. The issuing thread, the
+/// receiver thread, and any number of waiters coordinate through it.
+struct CallState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  rlscommon::Status status = rlscommon::Status::Ok();
+  std::string response;
+  std::vector<std::function<void(const rlscommon::Status&, const std::string&)>>
+      callbacks;
+  bool has_deadline = false;
+  rlscommon::TimePoint deadline{};
+  std::string target;  // server address, for timeout messages
+};
+
+}  // namespace detail
+
+/// Handle to one in-flight RPC issued with RpcClient::BeginCall. Copyable
+/// (all copies share the call). Completion is one of: the matching
+/// response arrived, the connection it was issued on retired
+/// (UNAVAILABLE), or the send itself failed.
+class Future {
+ public:
+  Future() = default;
+
+  /// False for a default-constructed handle.
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the call completed (response, error, or retired
+  /// connection). Wait() will not block.
+  bool done() const;
+
+  /// Blocks until completion or the call deadline (ClientOptions::
+  /// call_timeout, measured from BeginCall). On success copies the
+  /// response payload out; on deadline expiry returns TIMEOUT (the call
+  /// stays in flight — a late response is discarded by id/epoch).
+  rlscommon::Status Wait(std::string* response = nullptr);
+
+  /// Registers a completion callback: runs on the receiver thread when
+  /// the call completes, or inline right now if it already has. Must not
+  /// block; may issue follow-up BeginCalls.
+  void Then(std::function<void(const rlscommon::Status&, const std::string&)> fn);
+
+ private:
+  friend class RpcClient;
+  explicit Future(std::shared_ptr<detail::CallState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::CallState> state_;
+};
+
+/// Async RPC client with a blocking facade.
+///
+/// The core is BeginCall(opcode, payload) -> Future: requests pipeline
+/// on one multiplexed connection (many outstanding request ids), and a
+/// per-connection receiver thread matches responses to futures by id.
+/// The classic blocking Call() is a thin retry loop over
+/// BeginCall().Wait(), so every existing call site keeps its semantics
+/// while benches drive the async path for true server-saturation runs.
 ///
 /// Error taxonomy of Call():
 ///   UNAVAILABLE — could not reach the server (no listener, connection
@@ -273,58 +336,103 @@ struct ClientOptions {
 ///                 retryable (garbled data won't unscramble itself).
 ///   anything else — the server's own application Status, verbatim.
 /// Retryable failures are retried per ClientOptions::retry, reconnecting
-/// (and re-authenticating) as needed between attempts.
+/// (and re-authenticating) as needed between attempts. BeginCall itself
+/// never retries: a pipelined caller owns its own retry policy.
+///
+/// Request-id lifecycle: ids are monotonic across the client's lifetime
+/// (never reset on reconnect) and skip 0 on wrap. Every pending call is
+/// tagged with the connection epoch it was issued on; responses arriving
+/// from a retired connection are discarded, so a late reply can never
+/// complete a different call that reused its id.
+///
+/// Thread-safe: calls may be issued concurrently from many threads.
 class RpcClient {
  public:
   /// Connects and completes the AUTH handshake. A connect failure is
   /// UNAVAILABLE (retried here per the policy too).
-  static rlscommon::Status Connect(Network* network, const std::string& address,
+  static rlscommon::Status Connect(Transport* network, const std::string& address,
                                    const ClientOptions& options,
                                    std::unique_ptr<RpcClient>* out);
+
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Issues one call without waiting: connects if needed, assigns a
+  /// request id, sends, and returns the Future tracking the response.
+  /// Connect/send failures come back as an already-completed Future.
+  Future BeginCall(uint16_t opcode, const std::string& request);
 
   /// Issues one call and waits for its response. Server-side failures
   /// come back as the server's Status; see the taxonomy above.
   rlscommon::Status Call(uint16_t opcode, const std::string& request,
                          std::string* response);
 
-  void Close() {
-    if (conn_) conn_->Close();
-  }
+  /// Closes the connection and fails all in-flight futures UNAVAILABLE.
+  void Close();
 
-  uint64_t bytes_sent() const {
-    return bytes_sent_prior_ + (conn_ ? conn_->bytes_sent() : 0);
-  }
+  uint64_t bytes_sent() const;
 
   /// Transport-level retries performed over this client's lifetime.
-  uint64_t retries() const { return retries_; }
-  uint64_t reconnects() const { return reconnects_; }
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
 
  private:
-  RpcClient(Network* network, std::string address, ClientOptions options)
+  /// One in-flight call: the completion state plus the connection epoch
+  /// it was issued on (responses are only matched within their epoch).
+  struct PendingCall {
+    uint64_t epoch = 0;
+    std::shared_ptr<detail::CallState> state;
+  };
+
+  RpcClient(Transport* network, std::string address, ClientOptions options)
       : network_(network),
         address_(std::move(address)),
         options_(std::move(options)),
-        jitter_rng_(options_.retry_seed) {}
+        jitter_rng_(options_.retry_seed),
+        next_request_id_(options_.first_request_id) {}
 
-  /// (Re)establishes the connection + AUTH handshake if needed.
-  rlscommon::Status EnsureConnected();
+  /// (Re)establishes the connection + AUTH handshake if needed; spawns
+  /// the receiver for the new epoch. Caller holds mu_.
+  rlscommon::Status EnsureConnectedLocked();
 
-  /// One attempt: send, await the matching response until the deadline.
-  rlscommon::Status CallOnce(uint16_t opcode, const std::string& request,
-                             std::string* response);
+  /// Closes the current connection and joins its receiver (which fails
+  /// that epoch's pending calls). Caller holds mu_.
+  void RetireConnectionLocked();
+
+  /// Drains responses off one connection until it closes.
+  void ReceiverLoop(std::shared_ptr<Connection> conn, uint64_t epoch);
+
+  void FailPendingForEpoch(uint64_t epoch, const rlscommon::Status& status);
+
+  /// Monotonic id allocator; skips 0 on wrap. Caller holds pending_mu_.
+  uint32_t NextRequestIdLocked();
 
   rlscommon::Duration NextBackoff(int attempt);
 
-  Network* network_;
+  Transport* network_;
   std::string address_;
   ClientOptions options_;
-  rlscommon::Xoshiro256 jitter_rng_;
-  ConnectionPtr conn_;
-  bool ever_connected_ = false;
-  uint64_t bytes_sent_prior_ = 0;  // from connections since replaced
-  uint64_t retries_ = 0;
-  uint64_t reconnects_ = 0;
-  uint32_t next_request_id_ = 1;
+
+  // Connection lifecycle (serialized reconnects).
+  mutable std::mutex mu_;
+  rlscommon::Xoshiro256 jitter_rng_;     // guarded by mu_
+  std::shared_ptr<Connection> conn_;     // guarded by mu_
+  std::thread receiver_;                 // guarded by mu_
+  uint64_t epoch_ = 0;                   // guarded by mu_
+  bool ever_connected_ = false;          // guarded by mu_
+  uint64_t bytes_sent_prior_ = 0;        // guarded by mu_
+
+  // In-flight calls, shared with the receiver thread.
+  std::mutex pending_mu_;
+  std::map<uint32_t, PendingCall> pending_;
+  uint32_t next_request_id_;  // guarded by pending_mu_
+
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> reconnects_{0};
 };
 
 }  // namespace net

@@ -1,0 +1,731 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/serialize.h"
+
+namespace net {
+
+using rlscommon::Status;
+
+namespace {
+
+constexpr uint32_t kHelloMagic = 0x48534C52;  // "RLSH" little-endian
+constexpr uint16_t kHelloVersion = 1;
+// Fixed frame header past the length prefix: request_id(4) opcode(2)
+// flags(1) trace_id(8) span_id(8).
+constexpr std::size_t kFrameHeaderBytes = 23;
+
+std::string LastErrno() { return std::string(std::strerror(errno)); }
+
+bool ParseHostPort(std::string_view hp, std::string* host, uint16_t* port) {
+  const std::size_t colon = hp.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  const std::string_view digits = hp.substr(colon + 1);
+  if (digits.empty()) return false;
+  uint32_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+    if (value > 65535) return false;
+  }
+  *host = std::string(hp.substr(0, colon));
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+
+Status FillSockaddr(const std::string& host, uint16_t port, sockaddr_in* sa) {
+  std::memset(sa, 0, sizeof(*sa));
+  sa->sin_family = AF_INET;
+  sa->sin_port = htons(port);
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &sa->sin_addr) != 1) {
+    return Status::Protocol("not an IPv4 address: " + host);
+  }
+  return Status::Ok();
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+void EncodeFrame(const Message& msg, std::string* out) {
+  Writer w(out);
+  w.U32(static_cast<uint32_t>(kFrameHeaderBytes + msg.payload.size()));
+  w.U32(msg.request_id);
+  w.U16(msg.opcode);
+  w.U8(msg.flags);
+  w.U64(msg.trace_id);
+  w.U64(msg.span_id);
+  w.Raw(msg.payload);
+}
+
+bool DecodeFrameBody(std::string_view body, Message* out) {
+  Reader r(body);
+  if (!r.U32(&out->request_id) || !r.U16(&out->opcode) || !r.U8(&out->flags) ||
+      !r.U64(&out->trace_id) || !r.U64(&out->span_id)) {
+    return false;
+  }
+  out->payload.assign(r.Rest());
+  return true;
+}
+
+void EncodeHello(const std::string& identity, const LinkModel& link,
+                 std::string* out) {
+  std::string body;
+  Writer w(&body);
+  w.U32(kHelloMagic);
+  w.U16(kHelloVersion);
+  w.Str(identity);
+  w.U64(static_cast<uint64_t>(link.rtt.count()));
+  w.F64(link.bandwidth_bps);
+  Writer f(out);
+  f.U32(static_cast<uint32_t>(body.size()));
+  f.Raw(body);
+}
+
+bool DecodeHelloBody(std::string_view body, std::string* identity,
+                     LinkModel* link) {
+  Reader r(body);
+  uint32_t magic;
+  uint16_t version;
+  uint64_t rtt_us;
+  double bandwidth_bps;
+  if (!r.U32(&magic) || magic != kHelloMagic) return false;
+  if (!r.U16(&version) || version != kHelloVersion) return false;
+  if (!r.Str(identity)) return false;
+  if (!r.U64(&rtt_us) || !r.F64(&bandwidth_bps)) return false;
+  link->rtt = std::chrono::microseconds(rtt_us);
+  link->bandwidth_bps = bandwidth_bps;
+  return r.AtEnd();
+}
+
+/// Cross-thread command for the event loop.
+struct TcpTransport::Cmd {
+  enum Kind {
+    kRegisterConn,
+    kWrite,
+    kCloseConn,
+    kRegisterListener,
+    kCloseListener,
+    kStop,
+  };
+  Kind kind;
+  std::shared_ptr<Conn> conn;
+  std::shared_ptr<ListenerState> listener;
+};
+
+/// State shared by the transport, its event loop, and every connection
+/// wrapper (wrappers may outlive the transport object).
+struct TcpTransport::Core {
+  TcpOptions options;
+  rlscommon::Clock* clock = nullptr;
+  std::atomic<FaultInjector*> faults{nullptr};
+  std::atomic<uint64_t> next_id{1};  // 0 = the wakeup eventfd
+  int epfd = -1;
+  int wakefd = -1;
+
+  std::mutex cmd_mu;
+  std::vector<Cmd> cmds;
+  bool stopped = false;  // guarded by cmd_mu; set after the loop joins
+
+  void PushCmd(Cmd cmd) {
+    std::lock_guard<std::mutex> lock(cmd_mu);
+    if (stopped) return;
+    cmds.push_back(std::move(cmd));
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wakefd, &one, sizeof(one));
+  }
+};
+
+struct TcpTransport::ListenerState {
+  uint64_t id = 0;
+  int fd = -1;
+  std::string address;  // the logical (or tcp://) listen name
+  std::string ip_port;  // resolved "ip:port" from getsockname
+  AcceptHandler handler;
+};
+
+/// Per-socket state. The write side (wbuf and friends) is shared with
+/// user threads under wmu; everything else belongs to the loop thread.
+struct TcpTransport::Conn {
+  uint64_t id = 0;
+  int fd = -1;
+
+  std::shared_ptr<MessageQueue> incoming = std::make_shared<MessageQueue>();
+
+  std::mutex wmu;
+  std::condition_variable wcv;
+  std::string wbuf;
+  bool user_closed = false;  // Close() called: flush queued bytes, then drop
+  bool dead = false;         // fd closed: Send fails immediately
+  std::atomic<bool> write_requested{false};
+
+  // Loop-thread-only.
+  std::string rbuf;
+  bool hello_done = false;
+  bool read_eof = false;
+  bool want_read = true;
+  bool want_write = false;
+  bool lingering = false;
+  std::chrono::steady_clock::time_point linger_deadline{};
+  std::shared_ptr<ListenerState> listener;  // server side: owning acceptor
+};
+
+/// User-facing endpoint over one socket. Send() runs the same
+/// fault-injection and LinkModel pacing decision points as the
+/// in-process connection, then hands the encoded frame to the event
+/// loop via the write buffer (blocking on backpressure).
+class TcpConnection final : public Connection {
+ public:
+  TcpConnection(std::shared_ptr<TcpTransport::Core> core,
+                std::shared_ptr<TcpTransport::Conn> conn, LinkModel link,
+                std::string peer, std::string local)
+      : Connection(link, std::move(peer), std::move(local)),
+        core_(std::move(core)),
+        conn_(std::move(conn)) {}
+  ~TcpConnection() override { Close(); }
+
+  Status Send(Message msg) override {
+    const std::size_t bytes = msg.WireBytes();
+    if (kFrameHeaderBytes + msg.payload.size() > core_->options.max_frame_bytes) {
+      return Status::Protocol("frame exceeds max_frame_bytes");
+    }
+    rlscommon::Duration delay = link_.DelayFor(bytes);
+    SendVerdict verdict = SendVerdict::kDeliver;
+    if (FaultInjector* faults = core_->faults.load(std::memory_order_acquire)) {
+      const uint64_t index = messages_sent_.load(std::memory_order_relaxed) + 1;
+      verdict = faults->OnSend(local_, peer_, index, &delay);
+    }
+    if (verdict == SendVerdict::kDisconnect) {
+      Close();
+      return Status::Unavailable("fault: forced disconnect from " + peer_);
+    }
+    if (delay > rlscommon::Duration::zero()) core_->clock->SleepFor(delay);
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+    // A dropped message still charged the link and counts as sent — the
+    // sender cannot tell; its RPC deadline will.
+    if (verdict == SendVerdict::kDrop) return Status::Ok();
+    std::string frame;
+    EncodeFrame(msg, &frame);
+    {
+      std::unique_lock<std::mutex> lock(conn_->wmu);
+      conn_->wcv.wait(lock, [&] {
+        return conn_->user_closed || conn_->dead ||
+               conn_->wbuf.size() < core_->options.write_buffer_limit;
+      });
+      if (conn_->user_closed || conn_->dead) {
+        return Status::Unavailable("connection closed to " + peer_);
+      }
+      conn_->wbuf.append(frame);
+    }
+    if (!conn_->write_requested.exchange(true, std::memory_order_acq_rel)) {
+      core_->PushCmd({TcpTransport::Cmd::kWrite, conn_, nullptr});
+    }
+    return Status::Ok();
+  }
+
+  Status Recv(Message* out) override { return conn_->incoming->Pop(out); }
+
+  Status RecvFor(Message* out, rlscommon::Duration timeout) override {
+    return conn_->incoming->PopFor(out, timeout);
+  }
+
+  void Close() override {
+    bool first = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_->wmu);
+      if (!conn_->user_closed) {
+        conn_->user_closed = true;
+        first = true;
+      }
+    }
+    if (!first) return;
+    conn_->incoming->Close();
+    conn_->wcv.notify_all();
+    core_->PushCmd({TcpTransport::Cmd::kCloseConn, conn_, nullptr});
+  }
+
+  bool closed() const override { return conn_->incoming->closed(); }
+
+ private:
+  std::shared_ptr<TcpTransport::Core> core_;
+  std::shared_ptr<TcpTransport::Conn> conn_;
+};
+
+TcpTransport::TcpTransport(TcpOptions options, rlscommon::Clock* clock)
+    : core_(std::make_shared<Core>()) {
+  core_->options = std::move(options);
+  core_->clock = clock;
+  core_->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  core_->wakefd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (core_->epfd < 0 || core_->wakefd < 0) {
+    std::perror("tcp transport: epoll_create1/eventfd");
+    std::abort();
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;
+  ::epoll_ctl(core_->epfd, EPOLL_CTL_ADD, core_->wakefd, &ev);
+  loop_ = std::thread([this] { LoopMain(); });
+}
+
+TcpTransport::~TcpTransport() {
+  core_->PushCmd({Cmd::kStop, nullptr, nullptr});
+  loop_.join();
+  {
+    std::lock_guard<std::mutex> lock(core_->cmd_mu);
+    core_->stopped = true;
+  }
+  ::close(core_->epfd);
+  ::close(core_->wakefd);
+}
+
+Status TcpTransport::Listen(const std::string& address, AcceptHandler on_accept) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (listeners_.count(address)) {
+      return Status::AlreadyExists("address already in use: " + address);
+    }
+  }
+  std::string host = core_->options.bind_host;
+  uint16_t port = 0;  // logical names take an ephemeral port
+  if (address.rfind("tcp://", 0) == 0) {
+    if (!ParseHostPort(address.substr(6), &host, &port)) {
+      return Status::Protocol("bad tcp listen address: " + address);
+    }
+  }
+  sockaddr_in sa;
+  Status filled = FillSockaddr(host, port, &sa);
+  if (!filled.ok()) return filled;
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Unavailable("socket: " + LastErrno());
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    const Status bound =
+        errno == EADDRINUSE
+            ? Status::AlreadyExists("address already in use: " + address)
+            : Status::Unavailable("bind " + address + ": " + LastErrno());
+    ::close(fd);
+    return bound;
+  }
+  if (::listen(fd, 256) < 0) {
+    const Status listening =
+        Status::Unavailable("listen " + address + ": " + LastErrno());
+    ::close(fd);
+    return listening;
+  }
+  sockaddr_in actual;
+  socklen_t len = sizeof(actual);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len);
+  char ip[INET_ADDRSTRLEN] = "0.0.0.0";
+  ::inet_ntop(AF_INET, &actual.sin_addr, ip, sizeof(ip));
+  auto listener = std::make_shared<ListenerState>();
+  listener->id = core_->next_id.fetch_add(1, std::memory_order_relaxed);
+  listener->fd = fd;
+  listener->address = address;
+  listener->ip_port = std::string(ip) + ":" + std::to_string(ntohs(actual.sin_port));
+  listener->handler = std::move(on_accept);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!listeners_.emplace(address, listener).second) {
+      ::close(fd);
+      return Status::AlreadyExists("address already in use: " + address);
+    }
+  }
+  core_->PushCmd({Cmd::kRegisterListener, nullptr, listener});
+  return Status::Ok();
+}
+
+void TcpTransport::StopListening(const std::string& address) {
+  std::shared_ptr<ListenerState> listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = listeners_.find(address);
+    if (it == listeners_.end()) return;
+    listener = it->second;
+    listeners_.erase(it);
+  }
+  core_->PushCmd({Cmd::kCloseListener, nullptr, listener});
+}
+
+Status TcpTransport::Connect(const std::string& address, const LinkModel& link,
+                             ConnectionPtr* out,
+                             const std::string& local_identity) {
+  if (FaultInjector* faults = core_->faults.load(std::memory_order_acquire)) {
+    Status verdict = faults->OnConnect(local_identity, address);
+    if (!verdict.ok()) return verdict;
+  }
+  std::string target;
+  if (address.rfind("tcp://", 0) == 0) {
+    target = address.substr(6);
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = listeners_.find(address);
+    if (it == listeners_.end()) {
+      return Status::NotFound("connection refused: " + address);
+    }
+    target = it->second->ip_port;
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(target, &host, &port) || port == 0) {
+    return Status::Protocol("bad tcp address: " + address);
+  }
+  sockaddr_in sa;
+  Status filled = FillSockaddr(host, port, &sa);
+  if (!filled.ok()) return filled;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Unavailable("socket: " + LastErrno());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    const Status refused = Status::NotFound("connection refused: " + address +
+                                            " (" + LastErrno() + ")");
+    ::close(fd);
+    return refused;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetNonBlocking(fd);
+  auto conn = std::make_shared<Conn>();
+  conn->id = core_->next_id.fetch_add(1, std::memory_order_relaxed);
+  conn->fd = fd;
+  conn->hello_done = true;  // the client sends the hello, never expects one
+  EncodeHello(local_identity, link, &conn->wbuf);
+  conn->write_requested.store(true, std::memory_order_release);
+  core_->PushCmd({Cmd::kRegisterConn, conn, nullptr});
+  *out = std::make_unique<TcpConnection>(core_, conn, link, address,
+                                         local_identity);
+  return Status::Ok();
+}
+
+std::string TcpTransport::ListenAddress(const std::string& address) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = listeners_.find(address);
+  return it == listeners_.end() ? std::string() : it->second->ip_port;
+}
+
+FaultInjector* TcpTransport::EnableFaultInjection(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!faults_) {
+    faults_ = std::make_unique<FaultInjector>(seed, core_->clock);
+    core_->faults.store(faults_.get(), std::memory_order_release);
+  }
+  return faults_.get();
+}
+
+FaultInjector* TcpTransport::faults() {
+  return core_->faults.load(std::memory_order_acquire);
+}
+
+rlscommon::Clock* TcpTransport::clock() { return core_->clock; }
+
+void TcpTransport::LoopMain() {
+  std::vector<epoll_event> events(128);
+  bool stop = false;
+  while (!stop) {
+    const int timeout_ms = lingering_.empty() ? -1 : 20;
+    const int n =
+        ::epoll_wait(core_->epfd, events.data(), static_cast<int>(events.size()),
+                     timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone; nothing sane left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == 0) {
+        uint64_t drain;
+        while (::read(core_->wakefd, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      auto listener_it = polling_listeners_.find(id);
+      if (listener_it != polling_listeners_.end()) {
+        HandleAccept(listener_it->second);
+        continue;
+      }
+      auto conn_it = conns_.find(id);
+      if (conn_it == conns_.end()) continue;
+      const std::shared_ptr<Conn> conn = conn_it->second;
+      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) HandleRead(conn);
+      if (conn->fd >= 0 && (events[i].events & EPOLLOUT)) HandleWrite(conn);
+    }
+    DrainCommands(&stop);
+    if (!lingering_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      auto it = lingering_.begin();
+      while (it != lingering_.end()) {
+        const std::shared_ptr<Conn> conn = *it;
+        bool drained = conn->fd < 0;
+        if (!drained) {
+          std::lock_guard<std::mutex> lock(conn->wmu);
+          drained = conn->wbuf.empty();
+        }
+        if (drained || now >= conn->linger_deadline) {
+          it = lingering_.erase(it);
+          if (conn->fd >= 0) FinishClose(conn);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  // Teardown: one best-effort flush pass, then close everything.
+  std::vector<std::shared_ptr<Conn>> remaining;
+  remaining.reserve(conns_.size());
+  for (auto& entry : conns_) remaining.push_back(entry.second);
+  for (auto& conn : remaining) {
+    if (conn->fd >= 0) HandleWrite(conn);
+  }
+  for (auto& conn : remaining) {
+    if (conn->fd >= 0) FinishClose(conn);
+  }
+  for (auto& entry : polling_listeners_) ::close(entry.second->fd);
+  polling_listeners_.clear();
+  lingering_.clear();
+}
+
+void TcpTransport::DrainCommands(bool* stop_requested) {
+  std::vector<Cmd> cmds;
+  {
+    std::lock_guard<std::mutex> lock(core_->cmd_mu);
+    cmds.swap(core_->cmds);
+  }
+  for (Cmd& cmd : cmds) {
+    switch (cmd.kind) {
+      case Cmd::kRegisterListener: {
+        polling_listeners_[cmd.listener->id] = cmd.listener;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = cmd.listener->id;
+        ::epoll_ctl(core_->epfd, EPOLL_CTL_ADD, cmd.listener->fd, &ev);
+        break;
+      }
+      case Cmd::kCloseListener:
+        if (polling_listeners_.erase(cmd.listener->id)) {
+          ::epoll_ctl(core_->epfd, EPOLL_CTL_DEL, cmd.listener->fd, nullptr);
+          ::close(cmd.listener->fd);
+        }
+        break;
+      case Cmd::kRegisterConn: {
+        conns_[cmd.conn->id] = cmd.conn;
+        bool pending;
+        {
+          std::lock_guard<std::mutex> lock(cmd.conn->wmu);
+          pending = !cmd.conn->wbuf.empty();
+        }
+        cmd.conn->want_read = true;
+        cmd.conn->want_write = pending;
+        epoll_event ev{};
+        ev.events = EPOLLIN | (pending ? EPOLLOUT : 0u);
+        ev.data.u64 = cmd.conn->id;
+        ::epoll_ctl(core_->epfd, EPOLL_CTL_ADD, cmd.conn->fd, &ev);
+        break;
+      }
+      case Cmd::kWrite:
+        if (cmd.conn->fd >= 0) HandleWrite(cmd.conn);
+        break;
+      case Cmd::kCloseConn: {
+        const std::shared_ptr<Conn>& conn = cmd.conn;
+        if (conn->fd < 0 || conn->lingering) break;
+        bool drained;
+        {
+          std::lock_guard<std::mutex> lock(conn->wmu);
+          drained = conn->wbuf.empty();
+        }
+        if (drained) {
+          FinishClose(conn);
+        } else {
+          // Flush queued replies for a bounded window before dropping
+          // the socket (so a response sent just before Close() lands).
+          conn->lingering = true;
+          conn->linger_deadline = std::chrono::steady_clock::now() +
+                                  core_->options.close_linger;
+          UpdateInterest(conn, /*want_read=*/false, /*want_write=*/true);
+          lingering_.push_back(conn);
+        }
+        break;
+      }
+      case Cmd::kStop:
+        *stop_requested = true;
+        break;
+    }
+  }
+}
+
+void TcpTransport::HandleAccept(const std::shared_ptr<ListenerState>& listener) {
+  for (;;) {
+    const int fd =
+        ::accept4(listener->fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN or a transient accept error
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->id = core_->next_id.fetch_add(1, std::memory_order_relaxed);
+    conn->fd = fd;
+    conn->listener = listener;
+    conns_[conn->id] = conn;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    ::epoll_ctl(core_->epfd, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void TcpTransport::HandleRead(const std::shared_ptr<Conn>& conn) {
+  if (conn->fd < 0 || conn->read_eof) return;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->rbuf.append(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      conn->read_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    FinishClose(conn);  // hard error (ECONNRESET and friends)
+    return;
+  }
+  if (!ParseFrames(conn)) {
+    FinishClose(conn);  // framing violation: drop the peer
+    return;
+  }
+  if (conn->read_eof) {
+    // Half-close: buffered messages stay poppable, the inbox reports
+    // closed once drained, and our write side keeps working until the
+    // user calls Close().
+    conn->incoming->Close();
+    UpdateInterest(conn, /*want_read=*/false, conn->want_write);
+  }
+}
+
+bool TcpTransport::ParseFrames(const std::shared_ptr<Conn>& conn) {
+  std::string& rbuf = conn->rbuf;
+  std::size_t off = 0;
+  while (rbuf.size() - off >= 4) {
+    uint32_t frame_len;
+    std::memcpy(&frame_len, rbuf.data() + off, 4);
+    if (frame_len > core_->options.max_frame_bytes) return false;
+    if (rbuf.size() - off - 4 < frame_len) break;  // torn frame: wait
+    const std::string_view body(rbuf.data() + off + 4, frame_len);
+    if (!conn->hello_done) {
+      std::string identity;
+      LinkModel link;
+      if (!DecodeHelloBody(body, &identity, &link)) return false;
+      conn->hello_done = true;
+      if (conn->listener && conn->listener->handler) {
+        // The hello names the peer and its link model, so the server
+        // side gets the same fault identities and reply-direction
+        // pacing the in-process fabric builds in.
+        auto wrapper = std::make_unique<TcpConnection>(
+            core_, conn, link, /*peer=*/identity,
+            /*local=*/conn->listener->address);
+        conn->listener->handler(std::move(wrapper));
+      }
+    } else {
+      Message msg;
+      if (frame_len < kFrameHeaderBytes || !DecodeFrameBody(body, &msg)) {
+        return false;
+      }
+      conn->incoming->Push(std::move(msg));
+    }
+    off += 4 + static_cast<std::size_t>(frame_len);
+  }
+  if (off > 0) rbuf.erase(0, off);
+  return true;
+}
+
+void TcpTransport::HandleWrite(const std::shared_ptr<Conn>& conn) {
+  if (conn->fd < 0) return;
+  bool fatal = false;
+  bool pending;
+  {
+    std::unique_lock<std::mutex> lock(conn->wmu);
+    while (!conn->wbuf.empty()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(conn->wbuf.size(), 256 * 1024);
+      const ssize_t n = ::send(conn->fd, conn->wbuf.data(), chunk, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->wbuf.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      fatal = true;
+      break;
+    }
+    pending = !conn->wbuf.empty();
+    if (!pending) conn->write_requested.store(false, std::memory_order_release);
+  }
+  conn->wcv.notify_all();  // backpressure release
+  if (fatal) {
+    FinishClose(conn);
+    return;
+  }
+  if (pending != conn->want_write) {
+    UpdateInterest(conn, conn->want_read, pending);
+  }
+  if (!pending) {
+    bool user_closed;
+    {
+      std::lock_guard<std::mutex> lock(conn->wmu);
+      user_closed = conn->user_closed;
+    }
+    if (user_closed) FinishClose(conn);
+  }
+}
+
+void TcpTransport::FinishClose(const std::shared_ptr<Conn>& conn) {
+  if (conn->fd < 0) return;
+  {
+    std::lock_guard<std::mutex> lock(conn->wmu);
+    conn->dead = true;
+    conn->wbuf.clear();
+  }
+  conn->wcv.notify_all();
+  conn->incoming->Close();
+  ::epoll_ctl(core_->epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conn->fd = -1;
+  conns_.erase(conn->id);
+}
+
+void TcpTransport::UpdateInterest(const std::shared_ptr<Conn>& conn,
+                                  bool want_read, bool want_write) {
+  if (conn->fd < 0) return;
+  conn->want_read = want_read;
+  conn->want_write = want_write;
+  epoll_event ev{};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = conn->id;
+  ::epoll_ctl(core_->epfd, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+}  // namespace net

@@ -1,0 +1,108 @@
+// TCP implementation of the transport seam: a single epoll event-loop
+// thread drives nonblocking sockets through accept/read/write state
+// machines; user threads talk to it through per-connection write
+// buffers (with backpressure) and the MessageQueue inbox.
+//
+// Wire format (little-endian, see EncodeFrame):
+//   u32 frame_length                    -- bytes after this field
+//   u32 request_id  u16 opcode  u8 flags  u64 trace_id  u64 span_id
+//   payload[frame_length - 23]
+//
+// The first frame on every connection is a HELLO preamble instead
+// (EncodeHello): magic "RLSH", version, the client's fault-injection
+// identity, and its LinkModel (rtt_us, bandwidth_bps). That gives the
+// server side the same (local, peer) identity pair and reply-direction
+// pacing the in-process fabric gets for free, so FaultInjector
+// scenarios and LinkModel shaping behave identically on both
+// transports.
+//
+// Addresses: "tcp://host:port" binds/connects literally (the
+// multi-process path). Any other string is a *logical* name — the
+// listener binds an ephemeral port on `bind_host` and registers
+// name -> "ip:port" in an in-process resolver, so tests and benches
+// written against logical addresses ("lrc:fig6") run unmodified.
+// ListenAddress() exposes the resolved "ip:port" for handing to a
+// second process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace net {
+
+struct TcpOptions {
+  /// Interface logical-name listeners bind on.
+  std::string bind_host = "127.0.0.1";
+  /// Send() blocks once this many unflushed bytes queue on a connection.
+  std::size_t write_buffer_limit = 4 * 1024 * 1024;
+  /// Frames beyond this are a protocol violation (connection dropped).
+  std::size_t max_frame_bytes = 64 * 1024 * 1024;
+  /// How long a Close()d connection may keep flushing queued replies.
+  std::chrono::milliseconds close_linger{1000};
+};
+
+/// Frame codec, exposed for tests (torn-frame reassembly) and docs.
+void EncodeFrame(const Message& msg, std::string* out);
+bool DecodeFrameBody(std::string_view body, Message* out);
+void EncodeHello(const std::string& identity, const LinkModel& link,
+                 std::string* out);
+bool DecodeHelloBody(std::string_view body, std::string* identity,
+                     LinkModel* link);
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(
+      TcpOptions options = {},
+      rlscommon::Clock* clock = rlscommon::SystemClock::Instance());
+  ~TcpTransport() override;
+
+  rlscommon::Status Listen(const std::string& address,
+                           AcceptHandler on_accept) override;
+  void StopListening(const std::string& address) override;
+  rlscommon::Status Connect(const std::string& address, const LinkModel& link,
+                            ConnectionPtr* out,
+                            const std::string& local_identity = "client") override;
+  std::string ListenAddress(const std::string& address) const override;
+  FaultInjector* EnableFaultInjection(uint64_t seed) override;
+  FaultInjector* faults() override;
+  rlscommon::Clock* clock() override;
+
+ private:
+  friend class TcpConnection;
+  struct Conn;
+  struct ListenerState;
+  struct Cmd;
+  struct Core;
+
+  void LoopMain();
+  void DrainCommands(bool* stop_requested);
+  void HandleAccept(const std::shared_ptr<ListenerState>& listener);
+  void HandleRead(const std::shared_ptr<Conn>& conn);
+  void HandleWrite(const std::shared_ptr<Conn>& conn);
+  bool ParseFrames(const std::shared_ptr<Conn>& conn);
+  void FinishClose(const std::shared_ptr<Conn>& conn);
+  void UpdateInterest(const std::shared_ptr<Conn>& conn, bool want_read,
+                      bool want_write);
+
+  std::shared_ptr<Core> core_;  // shared with connection wrappers
+  std::unique_ptr<FaultInjector> faults_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<ListenerState>> listeners_;  // by name
+
+  // Loop-thread-only state.
+  std::map<uint64_t, std::shared_ptr<Conn>> conns_;
+  std::map<uint64_t, std::shared_ptr<ListenerState>> polling_listeners_;
+  std::vector<std::shared_ptr<Conn>> lingering_;
+
+  std::thread loop_;
+};
+
+}  // namespace net

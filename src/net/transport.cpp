@@ -1,5 +1,7 @@
 #include "net/transport.h"
 
+#include "net/tcp_transport.h"
+
 namespace net {
 
 using rlscommon::Status;
@@ -90,21 +92,20 @@ void RateLimiter::Acquire(std::size_t bytes) {
   if (delay > rlscommon::Duration::zero()) clock_->SleepFor(delay);
 }
 
-Connection::Connection(std::shared_ptr<MessageQueue> incoming,
-                       std::shared_ptr<MessageQueue> outgoing, LinkModel link,
-                       rlscommon::Clock* clock, std::string peer,
-                       std::shared_ptr<RateLimiter> peer_inbound,
-                       std::string local, FaultInjector* faults)
-    : incoming_(std::move(incoming)),
+InProcConnection::InProcConnection(std::shared_ptr<MessageQueue> incoming,
+                                   std::shared_ptr<MessageQueue> outgoing,
+                                   LinkModel link, rlscommon::Clock* clock,
+                                   std::string peer,
+                                   std::shared_ptr<RateLimiter> peer_inbound,
+                                   std::string local, FaultInjector* faults)
+    : Connection(link, std::move(peer), std::move(local)),
+      incoming_(std::move(incoming)),
       outgoing_(std::move(outgoing)),
-      link_(link),
       clock_(clock),
-      peer_(std::move(peer)),
       peer_inbound_(std::move(peer_inbound)),
-      local_(std::move(local)),
       faults_(faults) {}
 
-Status Connection::Send(Message msg) {
+Status InProcConnection::Send(Message msg) {
   const std::size_t bytes = msg.WireBytes();
   rlscommon::Duration delay = link_.DelayFor(bytes);
   SendVerdict verdict = SendVerdict::kDeliver;
@@ -129,18 +130,18 @@ Status Connection::Send(Message msg) {
   return Status::Ok();
 }
 
-Status Connection::Recv(Message* out) { return incoming_->Pop(out); }
+Status InProcConnection::Recv(Message* out) { return incoming_->Pop(out); }
 
-Status Connection::RecvFor(Message* out, rlscommon::Duration timeout) {
+Status InProcConnection::RecvFor(Message* out, rlscommon::Duration timeout) {
   return incoming_->PopFor(out, timeout);
 }
 
-void Connection::Close() {
+void InProcConnection::Close() {
   incoming_->Close();
   outgoing_->Close();
 }
 
-Status Network::Listen(const std::string& address, AcceptHandler on_accept) {
+Status InProcTransport::Listen(const std::string& address, AcceptHandler on_accept) {
   std::lock_guard<std::mutex> lock(mu_);
   if (listeners_.count(address)) {
     return Status::AlreadyExists("address already in use: " + address);
@@ -149,12 +150,13 @@ Status Network::Listen(const std::string& address, AcceptHandler on_accept) {
   return Status::Ok();
 }
 
-void Network::StopListening(const std::string& address) {
+void InProcTransport::StopListening(const std::string& address) {
   std::lock_guard<std::mutex> lock(mu_);
   listeners_.erase(address);
 }
 
-void Network::SetInboundCapacity(const std::string& address, double bytes_per_sec) {
+void InProcTransport::SetInboundCapacity(const std::string& address,
+                                         double bytes_per_sec) {
   std::lock_guard<std::mutex> lock(mu_);
   if (bytes_per_sec <= 0) {
     inbound_limits_.erase(address);
@@ -163,8 +165,9 @@ void Network::SetInboundCapacity(const std::string& address, double bytes_per_se
   }
 }
 
-Status Network::Connect(const std::string& address, const LinkModel& link,
-                        ConnectionPtr* out, const std::string& local_identity) {
+Status InProcTransport::Connect(const std::string& address, const LinkModel& link,
+                                ConnectionPtr* out,
+                                const std::string& local_identity) {
   if (faults_) {
     Status verdict = faults_->OnConnect(local_identity, address);
     if (!verdict.ok()) return verdict;
@@ -183,10 +186,10 @@ Status Network::Connect(const std::string& address, const LinkModel& link,
   }
   auto client_to_server = std::make_shared<MessageQueue>();
   auto server_to_client = std::make_shared<MessageQueue>();
-  auto client_side = std::make_unique<Connection>(
+  auto client_side = std::make_unique<InProcConnection>(
       server_to_client, client_to_server, link, clock_, address, inbound,
       local_identity, faults_.get());
-  auto server_side = std::make_unique<Connection>(
+  auto server_side = std::make_unique<InProcConnection>(
       client_to_server, server_to_client, link, clock_, local_identity, nullptr,
       address, faults_.get());
   handler(std::move(server_side));
@@ -194,9 +197,34 @@ Status Network::Connect(const std::string& address, const LinkModel& link,
   return Status::Ok();
 }
 
-FaultInjector* Network::EnableFaultInjection(uint64_t seed) {
+FaultInjector* InProcTransport::EnableFaultInjection(uint64_t seed) {
   if (!faults_) faults_ = std::make_unique<FaultInjector>(seed, clock_);
   return faults_.get();
+}
+
+std::unique_ptr<Transport> MakeTransport(const std::string& uri,
+                                         rlscommon::Clock* clock) {
+  std::string scheme = uri;
+  std::string rest;
+  const std::size_t sep = uri.find("://");
+  if (sep != std::string::npos) {
+    scheme = uri.substr(0, sep);
+    rest = uri.substr(sep + 3);
+  }
+  if (scheme.empty() || scheme == "inproc") {
+    return std::make_unique<InProcTransport>(clock);
+  }
+  if (scheme == "tcp") {
+    TcpOptions options;
+    if (!rest.empty()) {
+      // A port in the factory URI is irrelevant (listeners name their
+      // own); keep only the bind host.
+      const std::size_t colon = rest.find(':');
+      options.bind_host = colon == std::string::npos ? rest : rest.substr(0, colon);
+    }
+    return std::make_unique<TcpTransport>(options, clock);
+  }
+  return nullptr;
 }
 
 }  // namespace net

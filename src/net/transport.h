@@ -1,15 +1,22 @@
-// In-process message transport with link modeling.
+// The transport seam: one abstract Transport/Connection pair with two
+// implementations selectable by URI scheme.
 //
-// The paper's experiments run over a 100 Mbit/s LAN and an LA<->Chicago
-// WAN with 63.8 ms mean RTT. We reproduce the network term with a
-// LinkModel: each message charges (propagation = RTT/2) + (serialization
-// = bytes / bandwidth) before delivery, blocking the sender the way a
-// TCP send of that size effectively would for these request/response
-// protocols.
+//   inproc://  InProcTransport — the in-process fabric with link
+//              modeling. Each message charges (propagation = RTT/2) +
+//              (serialization = bytes / bandwidth) before delivery,
+//              blocking the sender the way a TCP send of that size
+//              effectively would for these request/response protocols
+//              (the paper's 100 Mbit/s LAN and LA<->Chicago WAN with
+//              63.8 ms mean RTT, §5).
+//   tcp://     TcpTransport (tcp_transport.h) — a real epoll socket
+//              stack: nonblocking sockets, length-prefixed frames,
+//              per-connection write buffers with backpressure. The
+//              LinkModel degrades to an egress pacing shim there.
 //
-// Connections are bidirectional message pipes; a Network object plays the
-// role of the IP fabric: servers Listen() on string addresses, clients
-// Connect() with a chosen LinkModel.
+// Servers Listen() on string addresses, clients Connect() with a chosen
+// LinkModel; everything above the seam (RpcServer, RpcClient, the rls
+// layer, benches, chaos tests) runs unmodified on either implementation.
+// MakeTransport() picks the implementation from a URI.
 #pragma once
 
 #include <chrono>
@@ -141,108 +148,174 @@ class MessageQueue {
   bool closed_ = false;
 };
 
-/// One endpoint of an established connection. `local`/`peer` are the
-/// endpoint identities the fault injector keys on (the listener address
-/// for the server side; the client's chosen identity, default "client",
-/// for the client side).
+/// One endpoint of an established connection — the abstract half of the
+/// transport seam. `local`/`peer` are the endpoint identities the fault
+/// injector keys on (the listener address for the server side; the
+/// client's chosen identity, default "client", for the client side).
+///
+/// Send/Recv semantics every implementation honors:
+///   * Send charges any link delay / pacing before returning, returns
+///     Unavailable once the connection is closed, and reports OK for
+///     injected drops (like a lost datagram, the sender only finds out
+///     via its RPC deadline);
+///   * Recv blocks for the next message and returns Unavailable after
+///     close once buffered messages are drained (a half-closed TCP peer
+///     still gets the messages that were in flight);
+///   * Close is idempotent and wakes pending Recv calls.
 class Connection {
  public:
-  Connection(std::shared_ptr<MessageQueue> incoming,
-             std::shared_ptr<MessageQueue> outgoing, LinkModel link,
-             rlscommon::Clock* clock, std::string peer,
-             std::shared_ptr<RateLimiter> peer_inbound = nullptr,
-             std::string local = "client", FaultInjector* faults = nullptr);
-  ~Connection() { Close(); }
+  Connection(LinkModel link, std::string peer, std::string local)
+      : link_(link), peer_(std::move(peer)), local_(std::move(local)) {}
+  virtual ~Connection() = default;
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  /// Sends one message, charging the link delay first (blocks the
-  /// sender). Unavailable if the peer closed or a fault force-closed the
-  /// connection. An injected drop still returns OK — like a lost
-  /// datagram, the sender only finds out via its RPC deadline.
-  rlscommon::Status Send(Message msg);
-
-  /// Blocks for the next incoming message.
-  rlscommon::Status Recv(Message* out);
-
-  /// Like Recv but gives up after `timeout` with a Timeout status.
-  rlscommon::Status RecvFor(Message* out, rlscommon::Duration timeout);
-
-  /// Closes both directions; pending Recv calls wake with Unavailable.
-  void Close();
-
-  /// True once either side closed the connection (both queues close
-  /// together, so checking the inbound one suffices).
-  bool closed() const { return incoming_->closed(); }
+  virtual rlscommon::Status Send(Message msg) = 0;
+  virtual rlscommon::Status Recv(Message* out) = 0;
+  virtual rlscommon::Status RecvFor(Message* out, rlscommon::Duration timeout) = 0;
+  virtual void Close() = 0;
+  virtual bool closed() const = 0;
 
   const std::string& peer() const { return peer_; }
   const std::string& local() const { return local_; }
   const LinkModel& link() const { return link_; }
 
-  uint64_t bytes_sent() const { return bytes_sent_; }
-  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_.load(std::memory_order_relaxed); }
+  uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
 
- private:
-  std::shared_ptr<MessageQueue> incoming_;
-  std::shared_ptr<MessageQueue> outgoing_;
+ protected:
   LinkModel link_;
-  rlscommon::Clock* clock_;
   std::string peer_;
-  std::shared_ptr<RateLimiter> peer_inbound_;  // shared capacity at the peer
   std::string local_;
-  FaultInjector* faults_;  // nullable; owned by the Network
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> messages_sent_{0};
 };
 
 using ConnectionPtr = std::unique_ptr<Connection>;
 
-/// The fabric: maps string addresses ("rli.chicago:39281") to listeners.
-class Network {
+/// The fabric half of the seam: maps string addresses
+/// ("rli.chicago:39281", "tcp://127.0.0.1:39281") to listeners.
+class Transport {
  public:
-  explicit Network(rlscommon::Clock* clock = rlscommon::SystemClock::Instance())
-      : clock_(clock) {}
+  virtual ~Transport() = default;
 
   using AcceptHandler = std::function<void(ConnectionPtr)>;
 
-  /// Registers a listener. AlreadyExists if the address is taken.
-  rlscommon::Status Listen(const std::string& address, AcceptHandler on_accept);
+  /// Registers a listener. AlreadyExists if the address is taken. The
+  /// handler may be invoked from an internal transport thread.
+  virtual rlscommon::Status Listen(const std::string& address,
+                                   AcceptHandler on_accept) = 0;
 
   /// Removes a listener (existing connections keep working until closed).
-  void StopListening(const std::string& address);
+  virtual void StopListening(const std::string& address) = 0;
 
-  /// Establishes a connection to `address`; the same `link` models both
-  /// directions. NotFound if nothing listens there; Unavailable if the
-  /// fault injector refuses it. `local_identity` names the client side
-  /// for fault targeting (partition pairs, blackouts).
-  rlscommon::Status Connect(const std::string& address, const LinkModel& link,
-                            ConnectionPtr* out,
-                            const std::string& local_identity = "client");
+  /// Establishes a connection to `address`. NotFound if nothing listens
+  /// there; Unavailable if the fault injector refuses it.
+  /// `local_identity` names the client side for fault targeting
+  /// (partition pairs, blackouts).
+  virtual rlscommon::Status Connect(const std::string& address,
+                                    const LinkModel& link, ConnectionPtr* out,
+                                    const std::string& local_identity = "client") = 0;
 
-  /// Caps the aggregate inbound byte rate of one listener: all senders
-  /// to `address` share this capacity (0 removes the cap). Models the
-  /// server's NIC / access link.
-  void SetInboundCapacity(const std::string& address, double bytes_per_sec);
+  /// Caps the aggregate inbound byte rate of one listener (models the
+  /// server's NIC / access link). Only the in-process transport models
+  /// this; the default is a no-op — on TCP the kernel's own flow control
+  /// applies instead.
+  virtual void SetInboundCapacity(const std::string& address,
+                                  double bytes_per_sec) {
+    (void)address;
+    (void)bytes_per_sec;
+  }
+
+  /// The concrete endpoint a listener is reachable at — "ip:port" for
+  /// TCP listeners (ephemeral-port resolution); the address itself for
+  /// the in-process fabric. Empty if nothing listens on `address`.
+  virtual std::string ListenAddress(const std::string& address) const {
+    return address;
+  }
 
   /// Installs a seeded fault injector on the fabric. Call before
   /// establishing connections (existing connections keep running
   /// fault-free). Returns the injector for scenario scripting; the
-  /// Network owns it. Idempotent: a second call returns the existing
+  /// transport owns it. Idempotent: a second call returns the existing
   /// injector and ignores the seed.
-  FaultInjector* EnableFaultInjection(uint64_t seed);
+  virtual FaultInjector* EnableFaultInjection(uint64_t seed) = 0;
 
   /// The installed injector, or nullptr.
-  FaultInjector* faults() { return faults_.get(); }
+  virtual FaultInjector* faults() = 0;
 
-  rlscommon::Clock* clock() { return clock_; }
+  virtual rlscommon::Clock* clock() = 0;
+};
+
+/// In-process transport: message queues stitched into bidirectional
+/// pipes, with link modeling and the Fig. 13 inbound-capacity limiter.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(
+      rlscommon::Clock* clock = rlscommon::SystemClock::Instance())
+      : clock_(clock) {}
+
+  rlscommon::Status Listen(const std::string& address,
+                           AcceptHandler on_accept) override;
+  void StopListening(const std::string& address) override;
+  rlscommon::Status Connect(const std::string& address, const LinkModel& link,
+                            ConnectionPtr* out,
+                            const std::string& local_identity = "client") override;
+  void SetInboundCapacity(const std::string& address,
+                          double bytes_per_sec) override;
+  FaultInjector* EnableFaultInjection(uint64_t seed) override;
+  FaultInjector* faults() override { return faults_.get(); }
+  rlscommon::Clock* clock() override { return clock_; }
 
  private:
   rlscommon::Clock* clock_;
   std::unique_ptr<FaultInjector> faults_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::map<std::string, AcceptHandler> listeners_;
   std::map<std::string, std::shared_ptr<RateLimiter>> inbound_limits_;
 };
+
+/// Historical name for the in-process fabric; most tests and benches
+/// declare `net::Network` and run on either transport via the seam.
+using Network = InProcTransport;
+
+/// In-process connection endpoint (one direction of queues each way).
+class InProcConnection final : public Connection {
+ public:
+  InProcConnection(std::shared_ptr<MessageQueue> incoming,
+                   std::shared_ptr<MessageQueue> outgoing, LinkModel link,
+                   rlscommon::Clock* clock, std::string peer,
+                   std::shared_ptr<RateLimiter> peer_inbound = nullptr,
+                   std::string local = "client", FaultInjector* faults = nullptr);
+  ~InProcConnection() override { Close(); }
+
+  rlscommon::Status Send(Message msg) override;
+  rlscommon::Status Recv(Message* out) override;
+  rlscommon::Status RecvFor(Message* out, rlscommon::Duration timeout) override;
+  void Close() override;
+
+  /// True once either side closed the connection (both queues close
+  /// together, so checking the inbound one suffices).
+  bool closed() const override { return incoming_->closed(); }
+
+ private:
+  std::shared_ptr<MessageQueue> incoming_;
+  std::shared_ptr<MessageQueue> outgoing_;
+  rlscommon::Clock* clock_;
+  std::shared_ptr<RateLimiter> peer_inbound_;  // shared capacity at the peer
+  FaultInjector* faults_;  // nullable; owned by the transport
+};
+
+/// Transport factory by URI scheme: "inproc://..." (or a bare name)
+/// builds an InProcTransport; "tcp://host" builds a TcpTransport bound
+/// to `host` (default 127.0.0.1). Returns nullptr for an unknown
+/// scheme. The RLS_TRANSPORT environment variable conventionally feeds
+/// this so one binary runs on either stack.
+std::unique_ptr<Transport> MakeTransport(
+    const std::string& uri,
+    rlscommon::Clock* clock = rlscommon::SystemClock::Instance());
 
 }  // namespace net

@@ -1,5 +1,7 @@
 #include "rls/bootstrap.h"
 
+#include <cstdlib>
+
 #include "common/strings.h"
 #include "dbapi/dbapi.h"
 #include "rdb/profile.h"
@@ -39,6 +41,21 @@ UpdateTarget ParseTarget(const std::string& value) {
 }
 
 }  // namespace
+
+Status MakeTransportFromConfig(const Config& config,
+                               std::unique_ptr<net::Transport>* out) {
+  std::string uri = config.GetString("transport", "");
+  if (uri.empty()) {
+    const char* env = std::getenv("RLS_TRANSPORT");
+    if (env) uri = env;
+  }
+  std::unique_ptr<net::Transport> transport = net::MakeTransport(uri);
+  if (!transport) {
+    return Status::Protocol("unknown transport scheme: " + uri);
+  }
+  *out = std::move(transport);
+  return Status::Ok();
+}
 
 Status ConfigureServer(const Config& config, RlsServerConfig* out) {
   *out = RlsServerConfig{};
@@ -149,7 +166,7 @@ Status EnsureDatabases(const RlsServerConfig& config, dbapi::Environment& env,
   return ensure(config.rli.enabled ? config.rli.dsn : "", false);
 }
 
-Status Topology::Create(const Config& config, net::Network* network,
+Status Topology::Create(const Config& config, net::Transport* network,
                         dbapi::Environment* env, std::unique_ptr<Topology>* out) {
   // Group server.<name>.<key> entries into per-server configs. Names are
   // declared up front by the 'servers' key; per-server keys come from the

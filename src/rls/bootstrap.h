@@ -56,6 +56,13 @@ namespace rls {
 rlscommon::Status ConfigureServer(const rlscommon::Config& config,
                                   RlsServerConfig* out);
 
+/// Builds the deployment's transport from the `transport` configuration
+/// key ("inproc" or "tcp://host", see net::MakeTransport), falling back
+/// to the RLS_TRANSPORT environment variable, then to inproc. Protocol
+/// error on an unknown scheme.
+rlscommon::Status MakeTransportFromConfig(const rlscommon::Config& config,
+                                          std::unique_ptr<net::Transport>* out);
+
 /// Registers every DSN the server configuration references (LRC and RLI)
 /// in `env`, if not already present. `wal_dir` non-empty = file-backed
 /// WALs under that directory.
@@ -71,7 +78,7 @@ class Topology {
   /// server (databases are created on demand). On failure, previously
   /// started servers are stopped.
   static rlscommon::Status Create(const rlscommon::Config& config,
-                                  net::Network* network, dbapi::Environment* env,
+                                  net::Transport* network, dbapi::Environment* env,
                                   std::unique_ptr<Topology>* out);
 
   ~Topology();

@@ -20,7 +20,7 @@ net::ClientOptions ToRpcOptions(const ClientConfig& config) {
 
 }  // namespace
 
-Status LrcClient::Connect(net::Network* network, const std::string& address,
+Status LrcClient::Connect(net::Transport* network, const std::string& address,
                           const ClientConfig& config, std::unique_ptr<LrcClient>* out) {
   std::unique_ptr<net::RpcClient> rpc;
   Status s = net::RpcClient::Connect(network, address, ToRpcOptions(config), &rpc);
@@ -319,7 +319,7 @@ Status LrcClient::GetTraces(const GetTracesRequest& filter,
   return GetTracesResponse::Decode(response, traces);
 }
 
-Status RliClient::Connect(net::Network* network, const std::string& address,
+Status RliClient::Connect(net::Transport* network, const std::string& address,
                           const ClientConfig& config, std::unique_ptr<RliClient>* out) {
   std::unique_ptr<net::RpcClient> rpc;
   Status s = net::RpcClient::Connect(network, address, ToRpcOptions(config), &rpc);

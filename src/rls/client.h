@@ -40,7 +40,7 @@ struct ClientConfig {
 /// Client for a server's LRC role — every LRC operation of Table 1.
 class LrcClient {
  public:
-  static rlscommon::Status Connect(net::Network* network, const std::string& address,
+  static rlscommon::Status Connect(net::Transport* network, const std::string& address,
                                    const ClientConfig& config,
                                    std::unique_ptr<LrcClient>* out);
 
@@ -130,7 +130,7 @@ class LrcClient {
 /// Client for a server's RLI role.
 class RliClient {
  public:
-  static rlscommon::Status Connect(net::Network* network, const std::string& address,
+  static rlscommon::Status Connect(net::Transport* network, const std::string& address,
                                    const ClientConfig& config,
                                    std::unique_ptr<RliClient>* out);
 

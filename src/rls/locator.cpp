@@ -8,7 +8,7 @@ namespace rls {
 using rlscommon::ErrorCode;
 using rlscommon::Status;
 
-ReplicaLocator::ReplicaLocator(net::Network* network,
+ReplicaLocator::ReplicaLocator(net::Transport* network,
                                std::vector<std::string> rli_addresses,
                                ClientConfig client_config)
     : network_(network),

@@ -27,7 +27,7 @@ namespace rls {
 class ReplicaLocator {
  public:
   /// `rli_addresses`: the RLIs to consult, in preference order.
-  ReplicaLocator(net::Network* network, std::vector<std::string> rli_addresses,
+  ReplicaLocator(net::Transport* network, std::vector<std::string> rli_addresses,
                  ClientConfig client_config = {});
 
   /// Finds confirmed replicas of `logical`: the union over every LRC any
@@ -57,7 +57,7 @@ class ReplicaLocator {
   rlscommon::Status RliFor(const std::string& address, RliClient** out);
   rlscommon::Status LrcFor(const std::string& address, LrcClient** out);
 
-  net::Network* network_;
+  net::Transport* network_;
   std::vector<std::string> rli_addresses_;
   ClientConfig client_config_;
   std::map<std::string, std::unique_ptr<RliClient>> rlis_;

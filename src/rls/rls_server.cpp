@@ -37,7 +37,7 @@ void MergeUnique(std::vector<std::string>* base, const std::vector<std::string>&
 
 }  // namespace
 
-RlsServer::RlsServer(net::Network* network, RlsServerConfig config,
+RlsServer::RlsServer(net::Transport* network, RlsServerConfig config,
                      dbapi::Environment* env, rlscommon::Clock* clock)
     : network_(network), config_(std::move(config)), env_(env), clock_(clock) {
   if (config_.url.empty()) config_.url = config_.address;

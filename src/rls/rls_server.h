@@ -75,7 +75,7 @@ struct ObsConfig {
 };
 
 struct RlsServerConfig {
-  std::string address;        // net::Network listen address
+  std::string address;        // transport listen address
   std::string url;            // identity in soft-state updates; default address
   LrcRoleConfig lrc;
   RliRoleConfig rli;
@@ -89,7 +89,7 @@ struct RlsServerConfig {
 
 class RlsServer {
  public:
-  RlsServer(net::Network* network, RlsServerConfig config,
+  RlsServer(net::Transport* network, RlsServerConfig config,
             dbapi::Environment* env = &dbapi::Environment::Global(),
             rlscommon::Clock* clock = rlscommon::SystemClock::Instance());
   ~RlsServer();
@@ -152,7 +152,7 @@ class RlsServer {
   // pointers into it (members destroy in reverse declaration order).
   obs::Registry registry_;
 
-  net::Network* network_;
+  net::Transport* network_;
   RlsServerConfig config_;
   dbapi::Environment* env_;
   rlscommon::Clock* clock_;

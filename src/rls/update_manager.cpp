@@ -31,7 +31,7 @@ std::string_view UpdateModeName(UpdateMode mode) {
   return "?";
 }
 
-UpdateManager::UpdateManager(net::Network* network, LrcStore* store,
+UpdateManager::UpdateManager(net::Transport* network, LrcStore* store,
                              std::string lrc_url, UpdateConfig config,
                              rlscommon::Clock* clock)
     : network_(network),

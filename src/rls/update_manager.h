@@ -41,7 +41,7 @@ std::string_view UpdateModeName(UpdateMode mode);
 
 /// One RLI this LRC updates.
 struct UpdateTarget {
-  std::string address;                        // net::Network address
+  std::string address;                        // transport listen address
   net::LinkModel link = net::LinkModel::Loopback();
   std::vector<std::string> patterns;          // partitioned mode: globs
 };
@@ -115,7 +115,7 @@ struct TargetFreshness {
 
 class UpdateManager {
  public:
-  UpdateManager(net::Network* network, LrcStore* store, std::string lrc_url,
+  UpdateManager(net::Transport* network, LrcStore* store, std::string lrc_url,
                 UpdateConfig config,
                 rlscommon::Clock* clock = rlscommon::SystemClock::Instance());
   ~UpdateManager();
@@ -217,7 +217,7 @@ class UpdateManager {
 
   void SchedulerLoop();
 
-  net::Network* network_;
+  net::Transport* network_;
   LrcStore* store_;
   std::string lrc_url_;
   UpdateConfig config_;

@@ -3,7 +3,10 @@
 // The paper's soft-state claim (§4, §6) is that the RLS keeps working
 // through server failure: the LRC serves clients while an RLI is dark,
 // and the RLI reconverges from a complete update after it heals. These
-// tests drive that path with deterministic, seeded fault injection.
+// tests drive that path with deterministic, seeded fault injection —
+// parameterized over both transports (in-process and TCP loopback), so
+// blackouts, partitions and the error taxonomy behave identically on
+// real sockets.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -37,8 +40,13 @@ bool WaitFor(const std::function<bool()>& predicate,
   return predicate();
 }
 
-class ChaosTest : public ::testing::Test {
+/// Parameterized over the transport URI; every scenario must hold on
+/// the in-process fabric and the TCP socket stack alike.
+class ChaosTest : public ::testing::TestWithParam<const char*> {
  protected:
+  ChaosTest()
+      : transport_(net::MakeTransport(GetParam())), network_(*transport_) {}
+
   static std::string Unique(const std::string& base) {
     static std::atomic<int> counter{0};
     return base + std::to_string(counter.fetch_add(1));
@@ -76,19 +84,26 @@ class ChaosTest : public ::testing::Test {
     }
   }
 
-  net::Network network_;
+  std::unique_ptr<net::Transport> transport_;  // destroyed last
+  net::Transport& network_;
   dbapi::Environment env_;
   std::vector<std::unique_ptr<RlsServer>> servers_;
   std::vector<net::ConnectionPtr> held_;       // tarpit connections
   std::vector<std::thread> garbler_threads_;   // garbled-reply servers
 };
 
+INSTANTIATE_TEST_SUITE_P(Transports, ChaosTest,
+                         ::testing::Values("inproc", "tcp://127.0.0.1"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return info.index == 0 ? "InProc" : "Tcp";
+                         });
+
 // The acceptance scenario: black out the RLI mid-run. The LRC keeps
 // serving client operations, marks the target unhealthy after repeated
 // send failures (visible through GetStats), and — after the blackout
 // lifts — the recovery pass reconverges the RLI with a forced full
 // resend, no manual intervention.
-TEST_F(ChaosTest, LrcServesThroughRliBlackoutAndReconverges) {
+TEST_P(ChaosTest, LrcServesThroughRliBlackoutAndReconverges) {
   net::FaultInjector* faults = network_.EnableFaultInjection(42);
 
   const std::string rli_addr = "chaos-rli:bo";
@@ -181,7 +196,7 @@ TEST_F(ChaosTest, LrcServesThroughRliBlackoutAndReconverges) {
 
 // A partition pair blocks connects in both directions but leaves third
 // parties untouched; healing restores traffic.
-TEST_F(ChaosTest, PartitionPairIsSymmetricAndHealable) {
+TEST_P(ChaosTest, PartitionPairIsSymmetricAndHealable) {
   net::FaultInjector* faults = network_.EnableFaultInjection(7);
   ASSERT_TRUE(
       network_.Listen("part-srv", [](net::ConnectionPtr conn) { conn->Close(); })
@@ -261,7 +276,7 @@ void RunLossyWorkload(uint64_t seed, int calls,
 
 // Same fault seed => identical fault event sequence and identical
 // per-call outcomes: chaos runs replay exactly.
-TEST_F(ChaosTest, DeterministicReplayUnderFixedSeed) {
+TEST(ChaosLossyTest, DeterministicReplayUnderFixedSeed) {
   std::vector<net::FaultEvent> events_a, events_b;
   std::vector<ErrorCode> outcomes_a, outcomes_b;
   uint64_t retries_a = 0, retries_b = 0;
@@ -283,7 +298,7 @@ TEST_F(ChaosTest, DeterministicReplayUnderFixedSeed) {
 
 // Retry + reconnect ride over a server that force-closes every
 // connection after 3 messages: all calls still succeed.
-TEST_F(ChaosTest, RetryReconnectsThroughForcedDisconnects) {
+TEST(ChaosLossyTest, RetryReconnectsThroughForcedDisconnects) {
   LossyFixture fx(/*seed=*/9);
   net::FaultPlan plan;
   plan.disconnect_after_messages = 3;
@@ -308,7 +323,7 @@ TEST_F(ChaosTest, RetryReconnectsThroughForcedDisconnects) {
 // The typed error taxonomy: a vanished listener is retryable
 // UNAVAILABLE; an expired deadline is retryable TIMEOUT; a garbled
 // reply is non-retryable PROTOCOL. Callers can tell them apart.
-TEST_F(ChaosTest, ErrorTaxonomyDistinguishesFailureModes) {
+TEST_P(ChaosTest, ErrorTaxonomyDistinguishesFailureModes) {
   // Vanished listener -> UNAVAILABLE (was NotFound pre-taxonomy).
   net::ClientOptions options;
   std::unique_ptr<net::RpcClient> client;
