@@ -5,6 +5,15 @@
 // faster than flush-enabled (84/s vs >700/s on 2004 hardware); the
 // flush-enabled curve is flat in the thread count because commits
 // serialize on the synchronous log write.
+//
+// Third series (beyond the paper): the same durable workload against a
+// server with WAL group commit enabled. Concurrent committers share one
+// log append + one flush, so the durable curve SCALES with the thread
+// count instead of flat-lining — the classic group-commit result the
+// paper's 2004 MySQL setup lacked. The legacy series runs to completion
+// FIRST (identical phases to the original bench) so its latency
+// histograms stay comparable with the pinned baseline; the grouped
+// server is only preloaded and exercised afterwards.
 #include "bench/harness.h"
 
 namespace {
@@ -17,11 +26,12 @@ std::string TrialName(int trial, uint64_t w, uint64_t i) {
 }
 
 /// Timed add phase: `total_ops` distinct mappings split across workers.
-double AddPhase(rlsbench::Testbed& bed, rls::RlsServer* lrc, int threads,
-                uint64_t total_ops, int trial) {
-  const uint64_t per_worker = std::max<uint64_t>(1, total_ops / threads);
+double AddPhase(rlsbench::Testbed& bed, rls::RlsServer* lrc, int clients,
+                int threads, uint64_t total_ops, int trial) {
+  const uint64_t per_worker = std::max<uint64_t>(
+      1, total_ops / (static_cast<uint64_t>(clients) * threads));
   return rlsbench::RunLrcLoad(
-      bed.network(), lrc->address(), 1, threads, per_worker,
+      bed.network(), lrc->address(), clients, threads, per_worker,
       [&](rls::LrcClient& client, uint64_t w, uint64_t i) {
         std::string name = TrialName(trial, w, i);
         (void)client.Create(name, "gsiftp://bench/" + name);
@@ -30,10 +40,12 @@ double AddPhase(rlsbench::Testbed& bed, rls::RlsServer* lrc, int threads,
 
 /// Untimed cleanup: deletes the trial's mappings so the catalog size
 /// stays constant (paper methodology §4). Run with flush disabled.
-void DeletePhase(rlsbench::Testbed& bed, rls::RlsServer* lrc, int threads,
-                 uint64_t total_ops, int trial) {
-  const uint64_t per_worker = std::max<uint64_t>(1, total_ops / threads);
-  rlsbench::RunLrcLoad(bed.network(), lrc->address(), 1, threads, per_worker,
+void DeletePhase(rlsbench::Testbed& bed, rls::RlsServer* lrc, int clients,
+                 int threads, uint64_t total_ops, int trial) {
+  const uint64_t per_worker = std::max<uint64_t>(
+      1, total_ops / (static_cast<uint64_t>(clients) * threads));
+  rlsbench::RunLrcLoad(bed.network(), lrc->address(), clients, threads,
+                       per_worker,
                        [&](rls::LrcClient& client, uint64_t w, uint64_t i) {
                          std::string name = TrialName(trial, w, i);
                          (void)client.Delete(name, "gsiftp://bench/" + name);
@@ -56,35 +68,87 @@ int main() {
   std::printf("preloading %llu entries (paper: 1M)...\n",
               static_cast<unsigned long long>(entries));
   bed.Preload(lrc, entries);
+  rdb::Database* db = bed.env()->Find(lrc->lrc_store()->pool().dsn());
 
-  Table table({"threads", "adds/s (flush disabled)", "adds/s (flush enabled)"});
   const int thread_counts[] = {1, 2, 4, 6, 8, 10};
-  for (int threads : thread_counts) {
-    double disabled = 0, enabled = 0;
-    rdb::Database* db = bed.env()->Find(lrc->lrc_store()->pool().dsn());
+  const int kThreadRows = static_cast<int>(std::size(thread_counts));
+
+  // Phase 1: the paper's two series, exactly as the original bench.
+  double disabled_rates[kThreadRows], enabled_rates[kThreadRows];
+  double legacy_durable_at_8 = 0;
+  for (int row = 0; row < kThreadRows; ++row) {
+    const int threads = thread_counts[row];
     {
       rlscommon::TrialStats stats;
       db->SetDurableFlush(false);
       for (int t = 0; t < rlsbench::Trials(); ++t) {
         const int trial = threads * 100 + t;
-        stats.AddRate(AddPhase(bed, lrc, threads, 3000, trial));
-        DeletePhase(bed, lrc, threads, 3000, trial);
+        stats.AddRate(AddPhase(bed, lrc, 1, threads, 3000, trial));
+        DeletePhase(bed, lrc, 1, threads, 3000, trial);
       }
-      disabled = stats.MeanRate();
+      disabled_rates[row] = stats.MeanRate();
     }
     {
       // Fewer ops: each add pays a synchronous (modeled 2004) disk flush.
       const int trial = threads * 100 + 50;
       db->SetDurableFlush(true);
-      enabled = AddPhase(bed, lrc, threads, 250, trial);
+      enabled_rates[row] = AddPhase(bed, lrc, 1, threads, 250, trial);
       db->SetDurableFlush(false);
-      DeletePhase(bed, lrc, threads, 250, trial);
+      DeletePhase(bed, lrc, 1, threads, 250, trial);
+      if (threads == 8) legacy_durable_at_8 = enabled_rates[row];
     }
-    table.AddRow({std::to_string(threads), rlscommon::FormatDouble(disabled, 0),
-                  rlscommon::FormatDouble(enabled, 0)});
+  }
+
+  // Phase 2: same modeled disk, WAL group commit on — concurrent
+  // durable commits batch into one append + one (penalized) flush.
+  rdb::BackendProfile group_profile = profile;
+  group_profile.wal_group_commit = true;
+  rls::RlsServer* grouped = bed.StartLrc("lrc:fig4-group", group_profile);
+  std::printf("preloading group-commit server...\n");
+  bed.Preload(grouped, entries);
+  rdb::Database* gdb = bed.env()->Find(grouped->lrc_store()->pool().dsn());
+
+  double grouped_rates[kThreadRows];
+  for (int row = 0; row < kThreadRows; ++row) {
+    const int threads = thread_counts[row];
+    // The shared flush affords more ops as the thread count climbs.
+    const int trial = threads * 100 + 60;
+    gdb->SetDurableFlush(true);
+    grouped_rates[row] = AddPhase(bed, grouped, 1, threads, 250 * threads, trial);
+    gdb->SetDurableFlush(false);
+    DeletePhase(bed, grouped, 1, threads, 250 * threads, trial);
+  }
+
+  Table table({"threads", "adds/s (flush disabled)", "adds/s (flush enabled)",
+               "adds/s (flush + group commit)"});
+  for (int row = 0; row < kThreadRows; ++row) {
+    table.AddRow({std::to_string(thread_counts[row]),
+                  rlscommon::FormatDouble(disabled_rates[row], 0),
+                  rlscommon::FormatDouble(enabled_rates[row], 0),
+                  rlscommon::FormatDouble(grouped_rates[row], 0)});
   }
   table.Print();
+
+  // Durability-ceiling acceptance: 8 clients x 10 threads of durable
+  // adds against the grouped server. 80 committers share flushes, so
+  // the rate must clear 10x the legacy flush-enabled plateau.
+  {
+    const int trial = 9999;
+    gdb->SetDurableFlush(true);
+    const double group_rate = AddPhase(bed, grouped, 8, 10, 4000, trial);
+    gdb->SetDurableFlush(false);
+    DeletePhase(bed, grouped, 8, 10, 4000, trial);
+    const double ratio =
+        legacy_durable_at_8 > 0 ? group_rate / legacy_durable_at_8 : 0;
+    std::printf("\nGroup-commit acceptance (8 clients x 10 threads, durable):\n"
+                "  grouped: %.0f adds/s   legacy 8-thread plateau: %.0f adds/s "
+                "  speedup: %.1fx %s\n",
+                group_rate, legacy_durable_at_8, ratio,
+                ratio >= 10.0 ? "(PASS, >= 10x)" : "(FAIL, < 10x)");
+  }
+
   std::printf("\nShape check: flush-disabled should exceed flush-enabled by ~5-10x;\n"
-              "the flush-enabled curve stays flat (commits serialize on the log).\n");
+              "the flush-enabled curve stays flat (commits serialize on the log)\n"
+              "while the group-commit curve scales with the thread count.\n");
   return 0;
 }

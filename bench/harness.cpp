@@ -136,7 +136,7 @@ void Testbed::WriteServerSnapshots() {
   }
   for (auto& server : servers_) {
     const rls::GetStatsResponse snap = server->GetStatsSnapshot();
-    char extra[768];
+    char extra[1024];
     std::snprintf(extra, sizeof(extra),
                   "\"server\": \"%s\", \"role\": \"%s\", \"uptime_seconds\": %.3f, "
                   "\"lfn_count\": %llu, \"mapping_count\": %llu, "
@@ -145,7 +145,9 @@ void Testbed::WriteServerSnapshots() {
                   "\"updates_sent\": %llu, \"bloom_filters\": %llu, "
                   "\"wal_recovery_enabled\": %u, \"wal_recovered_txns\": %llu, "
                   "\"wal_torn_tail_bytes\": %llu, "
-                  "\"wal_checksum_failures\": %llu",
+                  "\"wal_checksum_failures\": %llu, "
+                  "\"wal_group_commit\": %u, \"wal_commits\": %llu, "
+                  "\"wal_syncs\": %llu, \"wal_group_commits\": %llu",
                   server->url().c_str(), snap.role.c_str(), snap.uptime_seconds,
                   static_cast<unsigned long long>(snap.vitals.lfn_count),
                   static_cast<unsigned long long>(snap.vitals.mapping_count),
@@ -157,7 +159,11 @@ void Testbed::WriteServerSnapshots() {
                   static_cast<unsigned>(snap.wal.enabled),
                   static_cast<unsigned long long>(snap.wal.recovered_txns),
                   static_cast<unsigned long long>(snap.wal.torn_tail_bytes),
-                  static_cast<unsigned long long>(snap.wal.checksum_failures));
+                  static_cast<unsigned long long>(snap.wal.checksum_failures),
+                  static_cast<unsigned>(snap.wal.group_commit),
+                  static_cast<unsigned long long>(snap.wal.commits),
+                  static_cast<unsigned long long>(snap.wal.syncs),
+                  static_cast<unsigned long long>(snap.wal.group_commits));
     const std::string line = server->metrics_registry()->RenderJson(extra);
     std::fprintf(f, "%s\n", line.c_str());
   }

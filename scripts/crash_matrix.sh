@@ -28,11 +28,14 @@ for bin in "$test_bin" "$wal_bin" "$prop_bin"; do
   fi
 done
 
-echo "=== [crash] matrix: $txns txns, seed $seed ($test_bin)"
+echo "=== [crash] matrix: $txns txns, seed $seed, per-txn flush ($test_bin)"
 env RLS_CRASH_TXNS="$txns" RLS_CRASH_SEED="$seed" "$test_bin"
 
-echo "=== [crash] pinned-seed storage-fault replay ($wal_bin)"
-"$wal_bin" --gtest_filter='WalRecoveryTest.*:WalFaultTest.*'
+echo "=== [crash] matrix: $txns txns, seed $seed, GROUP COMMIT ($test_bin)"
+env RLS_CRASH_TXNS="$txns" RLS_CRASH_SEED="$seed" RLS_CRASH_GROUP=1 "$test_bin"
+
+echo "=== [crash] pinned-seed storage-fault replay + group commit ($wal_bin)"
+"$wal_bin" --gtest_filter='WalRecoveryTest.*:WalFaultTest.*:WalGroupCommitTest.*'
 
 echo "=== [crash] recovery idempotence property ($prop_bin)"
 "$prop_bin" --gtest_filter='*RecoveryIdempotenceProperty*'

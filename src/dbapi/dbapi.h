@@ -88,6 +88,27 @@ class Connection {
   rlscommon::Status Commit();
   rlscommon::Status Rollback();
 
+  /// Split commit: CommitBegin closes the open transaction and reserves
+  /// its WAL slot without blocking on the disk (group-commit mode), so
+  /// the caller can release its own ordering lock before parking in
+  /// CommitFinish for the group sync. The ticket must outlive the
+  /// matching CommitFinish. In per-txn-flush mode CommitBegin performs
+  /// the whole commit and CommitFinish just reports its status.
+  rlscommon::Status CommitBegin(rdb::Wal::CommitTicket* ticket) {
+    return engine_.CommitBegin(&session_, ticket);
+  }
+  rlscommon::Status CommitFinish(rdb::Wal::CommitTicket* ticket) {
+    return engine_.CommitWait(ticket);
+  }
+
+  /// Marks a rewind point inside the open transaction; see
+  /// RollbackToSavepoint. Batched write paths take one per item so a
+  /// failed item rolls back alone instead of aborting the batch.
+  sql::Savepoint Savepoint() const { return engine_.MakeSavepoint(&session_); }
+  rlscommon::Status RollbackToSavepoint(const sql::Savepoint& sp) {
+    return engine_.RollbackToSavepoint(&session_, sp);
+  }
+
   bool in_transaction() const { return session_.in_transaction(); }
   int64_t LastInsertId() const { return session_.last_insert_id(); }
 

@@ -20,6 +20,14 @@ WalOptions MakeWalOptions(const BackendProfile& profile,
       profile.wal_recycle_bytes ? profile.wal_recycle_bytes : Wal::kRecycleBytes;
   options.recovery = profile.wal_recovery;
   options.fault = fault;
+  options.group_commit = profile.wal_group_commit;
+  if (profile.wal_group_max_commits > 0) {
+    options.group_max_commits = profile.wal_group_max_commits;
+  }
+  if (profile.wal_group_max_bytes > 0) {
+    options.group_max_bytes = profile.wal_group_max_bytes;
+  }
+  options.group_max_wait = profile.wal_group_max_wait;
   return options;
 }
 

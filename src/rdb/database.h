@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,33 @@ class Database {
   /// flips between the "flush enabled" and "flush disabled" experiments).
   void SetDurableFlush(bool enabled) { profile_.durable_flush = enabled; }
   bool durable_flush() const { return profile_.durable_flush; }
+
+  /// Toggles WAL group commit at runtime (benches flip it between the
+  /// legacy flat-curve series and the scaling series). Call only while
+  /// no transactions are in flight.
+  void SetGroupCommit(bool enabled) {
+    profile_.wal_group_commit = enabled;
+    wal_.SetGroupCommit(enabled);
+  }
+
+  /// Transaction gate (profile.wal_recovery): the engine holds it
+  /// shared from a transaction's first logged mutation until the WAL
+  /// has reserved the transaction's LSN (CommitBegin). MaybeCheckpoint
+  /// takes it exclusively, so the checkpoint snapshot never captures a
+  /// mutation whose frame would replay on top of it (LSN above the
+  /// checkpoint's).
+  void LockTxnGateShared() { txn_gate_.lock_shared(); }
+  void UnlockTxnGateShared() { txn_gate_.unlock_shared(); }
+
+  /// Runs a WAL checkpoint deferred by a group-commit wrap, from a
+  /// context where no transaction sits between applying its mutations
+  /// and reserving its LSN. Cheap no-op when nothing is pending; the
+  /// engine calls it after every commit.
+  rlscommon::Status MaybeCheckpoint() {
+    if (!wal_.checkpoint_pending()) return rlscommon::Status::Ok();
+    std::unique_lock<std::shared_mutex> gate(txn_gate_);
+    return wal_.CheckpointIfPending();
+  }
 
   rlscommon::Status CreateTable(TableSchema schema);
   rlscommon::Status DropTable(const std::string& table);
@@ -89,6 +117,9 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::mutex recover_mu_;
   RecoveryStats recovery_stats_;
+  /// See LockTxnGateShared(). Shared holders are short (one statement's
+  /// apply + WAL enqueue), so writer starvation is not a concern here.
+  std::shared_mutex txn_gate_;
 };
 
 }  // namespace rdb

@@ -48,6 +48,22 @@ struct BackendProfile {
   /// Tests use tiny values to drive the checkpoint-wrap boundary.
   uint64_t wal_recycle_bytes = 0;
 
+  /// When true, durable commits use WAL group commit: concurrent
+  /// committers share one write + one fdatasync + ONE modeled
+  /// `durable_flush_penalty` per batch, so durable throughput scales
+  /// with client count. When false (default), every commit pays its own
+  /// serialized sync — the 2004 cost model behind the paper's flat
+  /// Fig. 4 flush-enabled curve.
+  bool wal_group_commit = false;
+
+  /// Group-commit batch caps; 0 = the Wal defaults (64 commits, 1 MB).
+  std::size_t wal_group_max_commits = 0;
+  std::size_t wal_group_max_bytes = 0;
+
+  /// >0 = a group-commit leader lingers up to this long for the batch
+  /// to fill before syncing (low-load latency floor).
+  std::chrono::microseconds wal_group_max_wait{0};
+
   IndexDeleteMode index_delete_mode() const {
     return kind == BackendKind::kPostgreSQL ? IndexDeleteMode::kTombstone
                                             : IndexDeleteMode::kErase;

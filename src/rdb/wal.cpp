@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <thread>
@@ -59,12 +60,34 @@ int PWriteAll(int fd, const char* p, std::size_t n, uint64_t offset,
 
 }  // namespace
 
+/// One parked committer. The frame is fully built at enqueue time
+/// (recovery mode: header+payload with the reserved LSN; legacy mode:
+/// the raw payload bytes) so the leader's write is a plain
+/// concatenation. `done`/`status` are guarded by the Wal's group_mu_.
+struct WalGroupWaiter {
+  std::string frame;
+  bool durable = false;
+  std::chrono::microseconds penalty{0};
+  uint64_t lsn = 0;  // 0 = no frame (legacy mode or nothing to write)
+  bool done = false;
+  rlscommon::Status status;
+};
+
+Wal::CommitTicket::CommitTicket() = default;
+
+Wal::CommitTicket::~CommitTicket() {
+  // A queued waiter is referenced by the leader until it is marked
+  // done; never let it die pending.
+  if (pending_ && wal_) (void)wal_->CommitFinish(this);
+}
+
 Wal::Wal(std::string path, uint64_t recycle_bytes)
     : Wal(std::move(path), WalOptions{recycle_bytes, /*recovery=*/false,
                                       /*fault=*/nullptr}) {}
 
 Wal::Wal(std::string path, WalOptions options)
     : path_(std::move(path)), options_(options) {
+  group_on_.store(options_.group_commit, std::memory_order_relaxed);
   if (path_.empty()) return;
   // Legacy mode truncates on open (the log is scratch space); recovery
   // mode must preserve whatever a previous incarnation left behind.
@@ -89,6 +112,23 @@ Wal::~Wal() {
   }
 }
 
+void Wal::SetObserver(WalObserver observer) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  observer_ = std::move(observer);
+}
+
+void Wal::SetGroupCommit(bool enabled) {
+  // Taking both locks flushes out any in-flight commit on either path;
+  // the queue must already be empty (callers toggle between phases).
+  std::lock_guard<std::mutex> group_lock(group_mu_);
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  group_on_.store(enabled, std::memory_order_relaxed);
+  // Reserved-but-unwritten LSNs from failed batches may be reused by
+  // the synchronous path; frames carrying them never reached the disk.
+  uint64_t reserve = lsn_reserve_.load(std::memory_order_relaxed);
+  if (reserve < last_lsn_) lsn_reserve_.store(last_lsn_, std::memory_order_relaxed);
+}
+
 Status Wal::WriteFrameLocked(uint8_t type, uint64_t lsn,
                              std::string_view payload) {
   const std::string frame = BuildFrame(type, lsn, payload);
@@ -108,7 +148,7 @@ Status Wal::WriteFrameLocked(uint8_t type, uint64_t lsn,
       if (options_.fault->crashed()) {
         // Simulated power cut: the torn frame stays on disk for recovery
         // to find, and this Wal is dead.
-        poisoned_ = true;
+        poisoned_.store(true, std::memory_order_release);
         file_bytes_ = offset + written;
         return Status::DataLoss("WAL write: simulated crash after " +
                                 std::to_string(written) + " bytes");
@@ -116,7 +156,7 @@ Status Wal::WriteFrameLocked(uint8_t type, uint64_t lsn,
       // Disk error mid-frame with the process alive: truncate the torn
       // frame away so the log stays a clean prefix of committed frames.
       if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
-        poisoned_ = true;
+        poisoned_.store(true, std::memory_order_release);
         return Status::DataLoss(std::string("WAL short write; repair failed: ") +
                                 std::strerror(errno));
       }
@@ -129,7 +169,7 @@ Status Wal::WriteFrameLocked(uint8_t type, uint64_t lsn,
   const int err = PWriteAll(fd_, frame.data(), to_write, offset, &written);
   if (err != 0) {
     if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
-      poisoned_ = true;
+      poisoned_.store(true, std::memory_order_release);
       return Status::DataLoss(std::string("WAL write failed; repair failed: ") +
                               std::strerror(errno));
     }
@@ -146,25 +186,24 @@ Status Wal::SyncLocked() {
       // fsyncgate: a failed sync may have dropped the dirty pages.
       // Retrying would claim durability that does not exist, so the log
       // fails stop.
-      poisoned_ = true;
+      poisoned_.store(true, std::memory_order_release);
       return Status::DataLoss(std::string("WAL fsync: ") + std::strerror(err));
     }
   }
   if (fd_ >= 0 && ::fdatasync(fd_) != 0) {
-    poisoned_ = true;
+    poisoned_.store(true, std::memory_order_release);
     return Status::DataLoss(std::string("WAL fsync: ") + std::strerror(errno));
   }
   syncs_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
-Status Wal::CheckpointLocked() {
+Status Wal::CheckpointLocked(uint64_t ckpt_lsn) {
   // 1. Snapshot the committed state (the writer takes the table locks;
   //    Commit holds none).
   uint64_t snapshot_rows = 0;
   const std::string snapshot =
       checkpoint_writer_ ? checkpoint_writer_(&snapshot_rows) : std::string();
-  const uint64_t ckpt_lsn = last_lsn_;
 
   // 2. Persist the snapshot atomically: tmp + fsync + rename. A crash
   //    before the rename leaves the old sidecar + the full log; after
@@ -200,10 +239,10 @@ Status Wal::CheckpointLocked() {
                             std::strerror(err));
   }
 
-  // 3. Recycle the log and stamp the pre-wrap LSN so file_bytes() and
+  // 3. Recycle the log and stamp the covered LSN so file_bytes() and
   //    replay agree across the boundary.
   if (::ftruncate(fd_, 0) != 0) {
-    poisoned_ = true;
+    poisoned_.store(true, std::memory_order_release);
     return Status::DataLoss(std::string("WAL checkpoint truncate: ") +
                             std::strerror(errno));
   }
@@ -218,13 +257,299 @@ Status Wal::CheckpointLocked() {
   return Status::Ok();
 }
 
+Status Wal::CheckpointIfPending() {
+  if (!checkpoint_pending_.load(std::memory_order_acquire)) return Status::Ok();
+  // The caller (Database::MaybeCheckpoint) holds the txn gate
+  // exclusively: every mutation applied to the tables belongs to a
+  // transaction whose LSN is already reserved, so a snapshot stamped
+  // with the highest reserved LSN skips exactly those frames at replay
+  // — including ones still queued behind a leader.
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  checkpoint_pending_.store(false, std::memory_order_release);
+  if (poisoned_.load(std::memory_order_acquire) || !options_.recovery ||
+      fd_ < 0 || file_bytes_ <= options_.recycle_bytes) {
+    return Status::Ok();
+  }
+  const uint64_t ckpt_lsn =
+      std::max(last_lsn_, lsn_reserve_.load(std::memory_order_relaxed));
+  return CheckpointLocked(ckpt_lsn);
+}
+
 Status Wal::Commit(std::string_view payload, bool durable,
                    std::chrono::microseconds penalty) {
+  CommitTicket ticket;
+  Status s = CommitBegin(payload, durable, penalty, &ticket);
+  if (!s.ok()) return s;
+  return CommitFinish(&ticket);
+}
+
+Status Wal::CommitBegin(std::string_view payload, bool durable,
+                        std::chrono::microseconds penalty,
+                        CommitTicket* ticket) {
+  ticket->wal_ = this;
+  ticket->pending_ = false;
+  if (!group_on_.load(std::memory_order_relaxed)) {
+    ticket->immediate_ = CommitSync(payload, durable, penalty);
+    return ticket->immediate_;
+  }
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  bytes_logged_.fetch_add(payload.size(), std::memory_order_relaxed);
+  if (poisoned_.load(std::memory_order_acquire)) {
+    ticket->immediate_ = Status::DataLoss(
+        "WAL is poisoned after an earlier sync/write failure; restart and "
+        "recover");
+    return ticket->immediate_;
+  }
+  const bool writes = fd_ >= 0 && !payload.empty();
+  if (!writes && !durable) {
+    // Nothing to write and nothing to sync: the commit is complete.
+    ticket->immediate_ = Status::Ok();
+    return ticket->immediate_;
+  }
+  auto waiter = std::make_unique<WalGroupWaiter>();
+  waiter->durable = durable;
+  waiter->penalty = penalty;
+  {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    if (writes) {
+      if (options_.recovery) {
+        // LSNs are reserved in enqueue order under group_mu_, so the
+        // FIFO queue keeps the on-disk frames LSN-sorted.
+        waiter->lsn = lsn_reserve_.fetch_add(1, std::memory_order_relaxed) + 1;
+        waiter->frame = BuildFrame(kWalFrameTxn, waiter->lsn, payload);
+      } else {
+        waiter->frame.assign(payload);
+      }
+    }
+    queue_.push_back(waiter.get());
+  }
+  group_cv_.notify_all();  // wake a lingering leader
+  ticket->waiter_ = std::move(waiter);
+  ticket->pending_ = true;
+  return Status::Ok();
+}
+
+Status Wal::CommitFinish(CommitTicket* ticket) {
+  if (!ticket->pending_) return ticket->immediate_;
+  WalGroupWaiter* own = ticket->waiter_.get();
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(group_mu_);
+    while (!own->done) {
+      if (!leader_active_) {
+        leader_active_ = true;
+        LeadLocked(lock, own);
+        leader_active_ = false;
+        group_cv_.notify_all();  // hand leadership to a parked follower
+      } else {
+        group_cv_.wait(lock);
+      }
+    }
+  }
+  ticket->pending_ = false;
+  const uint64_t wait_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  WalObserver observer;
+  {
+    std::lock_guard<std::mutex> lock(observer_mu_);
+    observer = observer_;
+  }
+  if (observer.sync_wait) {
+    observer.sync_wait(wait_us, rlscommon::CurrentTrace().trace_id);
+  }
+  // Stage stamp on the ambient request span: everything since the
+  // db_txn stamp was spent queued behind + inside the group sync.
+  if (own->durable) rlscommon::StampHop("wal_sync");
+  return own->status;
+}
+
+void Wal::LeadLocked(std::unique_lock<std::mutex>& lock, WalGroupWaiter* own) {
+  while (!own->done) {
+    if (options_.group_max_wait.count() > 0 &&
+        queue_.size() < options_.group_max_commits) {
+      // Low-load linger: trade a bounded latency floor for a fuller
+      // batch. New enqueues notify, so a full batch cuts this short.
+      group_cv_.wait_for(lock, options_.group_max_wait, [this] {
+        return queue_.size() >= options_.group_max_commits;
+      });
+    }
+    std::vector<WalGroupWaiter*> batch;
+    std::size_t bytes = 0;
+    while (!queue_.empty() && batch.size() < options_.group_max_commits) {
+      WalGroupWaiter* next = queue_.front();
+      if (!batch.empty() && bytes + next->frame.size() > options_.group_max_bytes) {
+        break;
+      }
+      queue_.pop_front();
+      batch.push_back(next);
+      bytes += next->frame.size();
+    }
+    if (batch.empty()) {
+      // Unreachable while own is queued, but never spin on a surprise.
+      group_cv_.wait(lock);
+      continue;
+    }
+    lock.unlock();
+    const Status s = WriteGroupBatch(batch);
+    lock.lock();
+    for (WalGroupWaiter* member : batch) {
+      member->status = s;
+      member->done = true;
+    }
+    group_cv_.notify_all();
+  }
+}
+
+Status Wal::WriteGroupBatch(const std::vector<WalGroupWaiter*>& batch) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (poisoned_.load(std::memory_order_acquire)) {
+    return Status::DataLoss(
+        "WAL is poisoned after an earlier sync/write failure; restart and "
+        "recover");
+  }
+  std::string buf;
+  uint64_t max_lsn = 0;
+  bool durable = false;
+  std::chrono::microseconds penalty{0};
+  for (const WalGroupWaiter* member : batch) {
+    buf += member->frame;
+    max_lsn = std::max(max_lsn, member->lsn);
+    durable = durable || member->durable;
+    penalty = std::max(penalty, member->penalty);
+  }
+  if (fd_ >= 0 && !buf.empty()) {
+    if (options_.recovery) {
+      // One contiguous append for the whole batch; the fault injector
+      // sees it as a single write, so an injected cut can land inside
+      // any member frame (recovery then replays the whole-frame
+      // prefix).
+      const uint64_t offset = file_bytes_;
+      std::size_t to_write = buf.size();
+      if (options_.fault) {
+        const auto verdict = options_.fault->OnWrite(offset, buf.size());
+        using Kind = StorageFaultInjector::WriteVerdict::Kind;
+        if (verdict.kind == Kind::kError) {
+          return Status::DataLoss(std::string("WAL batch write: ") +
+                                  std::strerror(verdict.error));
+        }
+        if (verdict.kind == Kind::kShort) {
+          std::size_t written = 0;
+          (void)PWriteAll(fd_, buf.data(), verdict.allowed, offset, &written);
+          if (options_.fault->crashed()) {
+            poisoned_.store(true, std::memory_order_release);
+            file_bytes_ = offset + written;
+            return Status::DataLoss("WAL batch write: simulated crash after " +
+                                    std::to_string(written) + " bytes");
+          }
+          if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+            poisoned_.store(true, std::memory_order_release);
+            return Status::DataLoss(
+                std::string("WAL batch short write; repair failed: ") +
+                std::strerror(errno));
+          }
+          // The whole batch is rolled back; its reserved LSNs become a
+          // gap, which replay tolerates (it only requires ascending
+          // LSNs, not dense ones).
+          return Status::DataLoss(std::string("WAL batch short write: ") +
+                                  std::strerror(verdict.error));
+        }
+        to_write = buf.size();
+      }
+      std::size_t written = 0;
+      const int err = PWriteAll(fd_, buf.data(), to_write, offset, &written);
+      if (err != 0) {
+        if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+          poisoned_.store(true, std::memory_order_release);
+          return Status::DataLoss(
+              std::string("WAL batch write failed; repair failed: ") +
+              std::strerror(errno));
+        }
+        return Status::DataLoss(std::string("WAL batch write: ") +
+                                std::strerror(err));
+      }
+      file_bytes_ = offset + buf.size();
+      if (max_lsn > last_lsn_) last_lsn_ = max_lsn;
+      if (file_bytes_ > options_.recycle_bytes) {
+        // Defer the checkpoint: the snapshot writer takes table locks,
+        // which must not happen while committers are parked behind this
+        // leader (see CheckpointIfPending).
+        checkpoint_pending_.store(true, std::memory_order_release);
+      }
+    } else {
+      // Legacy cost model: recycle by seeking home, then stream the
+      // batch through the same ::write path as the per-txn mode so the
+      // kernel file offset stays in step with file_bytes_.
+      if (file_bytes_ > options_.recycle_bytes) {
+        if (::lseek(fd_, 0, SEEK_SET) == 0) file_bytes_ = 0;
+      }
+      const char* p = buf.data();
+      std::size_t n = buf.size();
+      if (options_.fault) {
+        const auto verdict = options_.fault->OnWrite(file_bytes_, n);
+        using Kind = StorageFaultInjector::WriteVerdict::Kind;
+        if (verdict.kind != Kind::kOk) {
+          if (verdict.kind == Kind::kShort) {
+            ssize_t w = ::write(fd_, p, verdict.allowed);
+            if (w > 0) file_bytes_ += static_cast<uint64_t>(w);
+            if (options_.fault->crashed()) {
+              poisoned_.store(true, std::memory_order_release);
+            }
+          }
+          return Status::DataLoss(std::string("WAL batch write: ") +
+                                  std::strerror(verdict.error));
+        }
+      }
+      while (n > 0) {
+        ssize_t w = ::write(fd_, p, n);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          return Status::DataLoss(std::string("WAL batch write: ") +
+                                  std::strerror(errno));
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+        file_bytes_ += static_cast<uint64_t>(w);
+      }
+    }
+  }
+  if (durable) {
+    if (fd_ >= 0) {
+      Status s = SyncLocked();
+      if (!s.ok()) return s;
+    } else {
+      syncs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // ONE modeled-disk penalty per sync — the whole point of group
+    // commit. The max of the members' penalties, as the slowest
+    // modeled device bounds the batch.
+    if (penalty.count() > 0) {
+      std::this_thread::sleep_for(penalty);
+      penalty_us_charged_.fetch_add(static_cast<uint64_t>(penalty.count()),
+                                    std::memory_order_relaxed);
+    }
+  }
+  group_commits_.fetch_add(1, std::memory_order_relaxed);
+  WalObserver observer;
+  {
+    std::lock_guard<std::mutex> obs_lock(observer_mu_);
+    observer = observer_;
+  }
+  if (observer.group_commit) {
+    observer.group_commit(static_cast<uint64_t>(batch.size()),
+                          static_cast<uint64_t>(buf.size()));
+  }
+  return Status::Ok();
+}
+
+Status Wal::CommitSync(std::string_view payload, bool durable,
+                       std::chrono::microseconds penalty) {
   commits_.fetch_add(1, std::memory_order_relaxed);
   bytes_logged_.fetch_add(payload.size(), std::memory_order_relaxed);
 
   std::lock_guard<std::mutex> lock(commit_mu_);
-  if (poisoned_) {
+  if (poisoned_.load(std::memory_order_acquire)) {
     return Status::DataLoss("WAL is poisoned after an earlier sync/write "
                             "failure; restart and recover");
   }
@@ -233,6 +558,9 @@ Status Wal::Commit(std::string_view payload, bool durable,
       Status s = WriteFrameLocked(kWalFrameTxn, last_lsn_ + 1, payload);
       if (!s.ok()) return s;
       ++last_lsn_;
+      if (lsn_reserve_.load(std::memory_order_relaxed) < last_lsn_) {
+        lsn_reserve_.store(last_lsn_, std::memory_order_relaxed);
+      }
       // Checkpoint AFTER appending this frame, never before: the engine
       // applies a transaction's mutations to the tables before it
       // commits here, so the snapshot below already contains this
@@ -242,7 +570,7 @@ Status Wal::Commit(std::string_view payload, bool durable,
       // effects under an LSN that excludes them: double-apply on
       // recovery.)
       if (file_bytes_ > options_.recycle_bytes) {
-        s = CheckpointLocked();
+        s = CheckpointLocked(last_lsn_);
         if (!s.ok()) return s;
       }
     } else {
@@ -258,7 +586,9 @@ Status Wal::Commit(std::string_view payload, bool durable,
           if (verdict.kind == Kind::kShort) {
             ssize_t w = ::write(fd_, p, verdict.allowed);
             if (w > 0) file_bytes_ += static_cast<uint64_t>(w);
-            if (options_.fault->crashed()) poisoned_ = true;
+            if (options_.fault->crashed()) {
+              poisoned_.store(true, std::memory_order_release);
+            }
           }
           return Status::DataLoss(std::string("WAL write: ") +
                                   std::strerror(verdict.error));
@@ -284,7 +614,11 @@ Status Wal::Commit(std::string_view payload, bool durable,
     } else {
       syncs_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (penalty.count() > 0) std::this_thread::sleep_for(penalty);
+    if (penalty.count() > 0) {
+      std::this_thread::sleep_for(penalty);
+      penalty_us_charged_.fetch_add(static_cast<uint64_t>(penalty.count()),
+                                    std::memory_order_relaxed);
+    }
     // Stage stamp on the ambient request span: everything since the
     // db_txn stamp (taken before this commit) was spent syncing.
     rlscommon::StampHop("wal_sync");
@@ -373,6 +707,9 @@ Status Wal::Recover(
   }
   file_bytes_ = last_good;
   last_lsn_ = result->last_lsn;
+  if (lsn_reserve_.load(std::memory_order_relaxed) < last_lsn_) {
+    lsn_reserve_.store(last_lsn_, std::memory_order_relaxed);
+  }
   return Status::Ok();
 }
 
@@ -409,11 +746,6 @@ Status Wal::ReadCheckpointSidecar(std::string* payload, uint64_t* lsn,
   *lsn = ckpt_lsn;
   payload->assign(blob, 20, len);
   return Status::Ok();
-}
-
-bool Wal::poisoned() const {
-  std::lock_guard<std::mutex> lock(commit_mu_);
-  return poisoned_;
 }
 
 uint64_t Wal::file_bytes() const {

@@ -37,22 +37,50 @@
 //     truncates the first torn/corrupt frame and everything after it,
 //     and hands committed payloads to the caller in LSN order.
 //
+// Commit scheduling also has two modes:
+//
+//   * Per-transaction flush (default): concurrent commits serialize on
+//     the commit lock and each durable commit pays its own sync plus
+//     the full modeled penalty — reproducing the flat
+//     add-rate-vs-threads curve of the paper's Fig. 4.
+//
+//   * Group commit (WalOptions::group_commit): committers enqueue their
+//     pre-framed payloads under the group lock (reserving LSNs in
+//     queue order) and park on a condition variable. The first parked
+//     committer becomes the leader: it drains up to group_max_commits /
+//     group_max_bytes of the queue, issues ONE contiguous append for
+//     the whole batch, pays ONE fdatasync and ONE modeled-disk penalty
+//     (the max of the batch members'), then wakes the group with a
+//     shared status. Durable throughput then scales with the number of
+//     concurrent committers instead of pinning at 1/sync-latency.
+//     `group_max_wait` > 0 lets a leader linger for the batch to fill
+//     at low load (latency floor traded for bigger groups). The split
+//     CommitBegin/CommitFinish API additionally lets a caller reserve
+//     its LSN while holding its own ordering lock and park for the
+//     group sync after releasing it.
+//
 // Failure policy (both modes): a write error or injected short write is
 // a typed non-retryable DATA_LOSS error; in recovery mode the partially
-// written frame is truncated away so the log stays consistent. A failed
-// fdatasync poisons the log permanently — after fsync fails, the kernel
-// may already have dropped the dirty pages, so retrying the sync would
-// silently report durability that does not exist (the "fsyncgate"
-// semantics); every later Commit fails fast with DATA_LOSS.
+// written frame (or batch) is truncated away so the log stays
+// consistent. A failed fdatasync poisons the log permanently — after
+// fsync fails, the kernel may already have dropped the dirty pages, so
+// retrying the sync would silently report durability that does not
+// exist (the "fsyncgate" semantics); every later Commit fails fast with
+// DATA_LOSS. A failed group sync poisons once and fails every parked
+// committer of that batch with DATA_LOSS.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/error.h"
 #include "rdb/storage_fault.h"
@@ -66,6 +94,10 @@ inline constexpr uint8_t kWalFrameCheckpoint = 2;
 /// Frame header bytes: crc(4) + lsn(8) + type(1) + len(4).
 inline constexpr std::size_t kWalFrameHeaderBytes = 17;
 
+/// One parked group committer (owned by its CommitTicket; queued by
+/// pointer). Defined in wal.cpp.
+struct WalGroupWaiter;
+
 /// Construction-time options beyond the path.
 struct WalOptions {
   uint64_t recycle_bytes = 256ull << 20;
@@ -74,6 +106,27 @@ struct WalOptions {
   bool recovery = false;
   /// Optional fault injector consulted before log writes and syncs.
   StorageFaultInjector* fault = nullptr;
+  /// True = leader/follower group commit (one sync per batch); false =
+  /// per-transaction flush matching the paper's Fig. 4 cost model.
+  bool group_commit = false;
+  /// Most commits a leader drains into one batch.
+  std::size_t group_max_commits = 64;
+  /// Byte cap on a batch (the first frame always fits).
+  std::size_t group_max_bytes = 1u << 20;
+  /// >0 = a leader lingers up to this long waiting for the batch to
+  /// fill before syncing (low-load latency floor for bigger groups).
+  std::chrono::microseconds group_max_wait{0};
+};
+
+/// Metric hooks fired by the Wal. Plain std::function so rdb keeps no
+/// dependency on the obs registry; unset members are skipped.
+struct WalObserver {
+  /// One call per group batch written: member count + batch bytes.
+  std::function<void(uint64_t frames, uint64_t bytes)> group_commit;
+  /// One call per group committer as it unparks: wall time spent
+  /// waiting for the leader's write+sync, plus the committer's ambient
+  /// trace id (0 = none) for exemplars.
+  std::function<void(uint64_t wait_us, uint64_t trace_id)> sync_wait;
 };
 
 /// What Recover() found in the log.
@@ -91,6 +144,29 @@ class Wal {
   /// (recovery) rather than growing without bound.
   static constexpr uint64_t kRecycleBytes = 256ull << 20;
 
+  /// A commit split into its enqueue and wait halves. Begin reserves
+  /// the LSN and enqueues (group mode) or performs the whole commit
+  /// synchronously (per-txn mode); Finish parks for the group result.
+  /// The destructor waits out a still-pending group commit so the
+  /// queued waiter can never dangle.
+  class CommitTicket {
+   public:
+    CommitTicket();  // out of line: WalGroupWaiter is incomplete here
+    ~CommitTicket();
+    CommitTicket(const CommitTicket&) = delete;
+    CommitTicket& operator=(const CommitTicket&) = delete;
+
+    /// True between a successful group CommitBegin and CommitFinish.
+    bool pending() const { return pending_; }
+
+   private:
+    friend class Wal;
+    Wal* wal_ = nullptr;
+    std::unique_ptr<WalGroupWaiter> waiter_;
+    rlscommon::Status immediate_;
+    bool pending_ = false;
+  };
+
   /// `path` empty = account bytes but keep no file (in-memory database).
   /// `recycle_bytes` overrides the wrap threshold (tests use tiny
   /// values to exercise the boundary without writing 256 MB).
@@ -102,13 +178,29 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   /// Writes one transaction's records. When `durable`, the write is
-  /// synced and `penalty` of modeled disk time is charged before
-  /// returning. Thread-safe; concurrent commits serialize (no group
-  /// commit, matching the flat add-rate-vs-threads curve of Fig. 4).
+  /// synced — one sync per commit in per-txn mode, one per batch in
+  /// group mode — and the modeled disk `penalty` is charged (per
+  /// commit, or once per batch) before returning. Thread-safe.
   /// Fails with DATA_LOSS on a storage error; permanently after a
   /// failed sync (see the failure policy above).
   rlscommon::Status Commit(std::string_view payload, bool durable,
                            std::chrono::microseconds penalty);
+
+  /// First half of Commit: in group mode, reserves the commit's LSN and
+  /// enqueues the framed payload without blocking on any disk I/O (the
+  /// caller may still hold its own ordering lock); in per-txn mode,
+  /// performs the entire commit synchronously. The returned status is
+  /// the enqueue verdict — the commit's final status comes from
+  /// CommitFinish. `ticket` must outlive the matching CommitFinish.
+  rlscommon::Status CommitBegin(std::string_view payload, bool durable,
+                                std::chrono::microseconds penalty,
+                                CommitTicket* ticket);
+
+  /// Second half of Commit: parks until a leader (possibly this thread)
+  /// has written + synced the ticket's batch, and returns the commit's
+  /// final status. Safe to call after a failed CommitBegin (returns the
+  /// same failure). Idempotent.
+  rlscommon::Status CommitFinish(CommitTicket* ticket);
 
   /// Recovery-mode scan: verifies every frame's checksum, truncates the
   /// log at the first torn or corrupt frame, and calls `apply` for each
@@ -137,36 +229,79 @@ class Wal {
     checkpoint_writer_ = std::move(writer);
   }
 
+  /// Installs (or clears, with default-constructed hooks) the metric
+  /// observer. Call while no commits are in flight.
+  void SetObserver(WalObserver observer);
+
+  /// Runtime toggle between per-txn flush and group commit. Call only
+  /// while no commits are in flight (benches flip it between phases).
+  void SetGroupCommit(bool enabled);
+  bool group_commit_enabled() const {
+    return group_on_.load(std::memory_order_relaxed);
+  }
+
+  /// Group mode defers the checkpoint-at-wrap (a leader must not take
+  /// table locks while committers are parked behind it): the batch that
+  /// crosses the recycle threshold only marks the checkpoint pending,
+  /// and the engine calls this from a context where no transaction is
+  /// between applying its mutations and reserving its LSN
+  /// (Database::MaybeCheckpoint holds the txn gate exclusively). The
+  /// checkpoint LSN is then the highest *reserved* LSN, so queued
+  /// frames that land after the wrap replay as no-ops.
+  rlscommon::Status CheckpointIfPending();
+  bool checkpoint_pending() const {
+    return checkpoint_pending_.load(std::memory_order_acquire);
+  }
+
   uint64_t bytes_logged() const { return bytes_logged_.load(std::memory_order_relaxed); }
   uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
   uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
   uint64_t checkpoints() const { return checkpoints_.load(std::memory_order_relaxed); }
   uint64_t torn_tail_bytes() const { return torn_tail_bytes_.load(std::memory_order_relaxed); }
   uint64_t checksum_failures() const { return checksum_failures_.load(std::memory_order_relaxed); }
+  /// Batches written by group-commit leaders (one write+sync each).
+  uint64_t group_commits() const { return group_commits_.load(std::memory_order_relaxed); }
+  /// Total modeled-disk penalty charged, in microseconds. Per-txn mode
+  /// charges each durable commit; group mode charges once per sync (the
+  /// max of the batch members' penalties) — the cost-model invariant
+  /// the penalty unit tests pin.
+  uint64_t penalty_us_charged() const { return penalty_us_charged_.load(std::memory_order_relaxed); }
   const std::string& path() const { return path_; }
   bool recovery_enabled() const { return options_.recovery; }
 
   /// True once a storage failure made the log unusable (failed sync, or
   /// an unrepairable write error). All further commits fail DATA_LOSS.
-  bool poisoned() const;
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
 
   /// Current write offset in the file (post-wrap position). Bounded by
-  /// recycle_bytes + the largest single commit.
+  /// recycle_bytes + the largest single commit (or batch).
   uint64_t file_bytes() const;
 
-  /// Highest LSN assigned (recovery mode).
+  /// Highest LSN assigned to a frame on disk (recovery mode).
   uint64_t last_lsn() const;
 
   uint64_t recycle_bytes() const { return options_.recycle_bytes; }
 
  private:
+  /// The per-txn (non-group) commit path: write + sync + penalty under
+  /// the commit lock, exactly the paper's serialized cost model.
+  rlscommon::Status CommitSync(std::string_view payload, bool durable,
+                               std::chrono::microseconds penalty);
+  /// Leader loop: drains batches until `own` is done. Called with
+  /// group_mu_ held (released around the batch I/O).
+  void LeadLocked(std::unique_lock<std::mutex>& lk, WalGroupWaiter* own);
+  /// Writes one drained batch: single contiguous append, one sync, one
+  /// penalty. Returns the shared status for every batch member.
+  rlscommon::Status WriteGroupBatch(const std::vector<WalGroupWaiter*>& batch);
   /// Appends one frame at file_bytes_ (recovery mode, lock held).
   rlscommon::Status WriteFrameLocked(uint8_t type, uint64_t lsn,
                                      std::string_view payload);
   /// fdatasync with fail-stop semantics (lock held).
   rlscommon::Status SyncLocked();
   /// Snapshot + sidecar + truncate + checkpoint frame (lock held).
-  rlscommon::Status CheckpointLocked();
+  /// `ckpt_lsn` is the LSN the sidecar covers: last_lsn_ inline
+  /// (per-txn mode), the highest reserved LSN when deferred.
+  rlscommon::Status CheckpointLocked(uint64_t ckpt_lsn);
 
   std::string path_;
   WalOptions options_;
@@ -178,10 +313,26 @@ class Wal {
   std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> torn_tail_bytes_{0};
   std::atomic<uint64_t> checksum_failures_{0};
+  std::atomic<uint64_t> group_commits_{0};
+  std::atomic<uint64_t> penalty_us_charged_{0};
+  std::atomic<bool> poisoned_{false};
+  std::atomic<bool> checkpoint_pending_{false};
   uint64_t file_bytes_ = 0;  // guarded by commit_mu_
   uint64_t last_lsn_ = 0;    // guarded by commit_mu_
-  bool poisoned_ = false;    // guarded by commit_mu_
   std::function<std::string(uint64_t*)> checkpoint_writer_;
+
+  // Group-commit state. Lock order: group_mu_ and commit_mu_ are never
+  // held together (the leader releases group_mu_ around the batch I/O).
+  std::atomic<bool> group_on_{false};
+  mutable std::mutex group_mu_;
+  std::condition_variable group_cv_;
+  std::deque<WalGroupWaiter*> queue_;  // guarded by group_mu_
+  bool leader_active_ = false;         // guarded by group_mu_
+  /// Highest LSN handed out at enqueue; >= last_lsn_ (frames not yet
+  /// written). Failed batches leave gaps, which replay tolerates.
+  std::atomic<uint64_t> lsn_reserve_{0};
+  mutable std::mutex observer_mu_;
+  WalObserver observer_;  // guarded by observer_mu_
 };
 
 }  // namespace rdb

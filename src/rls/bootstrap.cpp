@@ -77,6 +77,11 @@ Status ConfigureServer(const Config& config, RlsServerConfig* out) {
       return Status::InvalidArgument("lrc_server needs lrc_dsn");
     }
     out->lrc.wal_recovery = config.GetBool("wal_recovery", false);
+    out->lrc.wal_group_commit = config.GetBool("wal_group_commit", false);
+    out->lrc.wal_group_max_commits =
+        static_cast<std::size_t>(config.GetInt("wal_group_max_commits", 0));
+    out->lrc.wal_group_max_wait =
+        std::chrono::microseconds(config.GetInt("wal_group_max_wait_us", 0));
     UpdateConfig& update = out->lrc.update;
     Status s = ParseUpdateMode(config.GetString("update_mode", "none"), &update.mode);
     if (!s.ok()) return s;
@@ -136,7 +141,7 @@ Status ConfigureServer(const Config& config, RlsServerConfig* out) {
 
 Status EnsureDatabases(const RlsServerConfig& config, dbapi::Environment& env,
                        const std::string& wal_dir) {
-  auto ensure = [&](const std::string& dsn, bool wal_recovery) -> Status {
+  auto ensure = [&](const std::string& dsn, bool custom_profile) -> Status {
     if (dsn.empty() || env.Find(dsn)) return Status::Ok();
     std::string wal;
     if (!wal_dir.empty()) {
@@ -146,8 +151,9 @@ Status EnsureDatabases(const RlsServerConfig& config, dbapi::Environment& env,
       }
       wal = wal_dir + "/" + file + ".wal";
     }
-    if (!wal_recovery) return env.CreateDatabase(dsn, wal);
-    // Crash-safe profile: framed WAL + replay (needs a real file).
+    if (!custom_profile) return env.CreateDatabase(dsn, wal);
+    // Custom WAL profile: crash-safe framed log (wal_recovery) and/or
+    // group commit.
     rdb::BackendKind kind;
     std::string name;
     Status s = dbapi::ParseDsn(dsn, &kind, &name);
@@ -155,11 +161,14 @@ Status EnsureDatabases(const RlsServerConfig& config, dbapi::Environment& env,
     rdb::BackendProfile profile = kind == rdb::BackendKind::kPostgreSQL
                                       ? rdb::BackendProfile::PostgreSQL()
                                       : rdb::BackendProfile::MySQL();
-    profile.wal_recovery = true;
+    profile.wal_recovery = config.lrc.wal_recovery;
+    profile.wal_group_commit = config.lrc.wal_group_commit;
+    profile.wal_group_max_commits = config.lrc.wal_group_max_commits;
+    profile.wal_group_max_wait = config.lrc.wal_group_max_wait;
     return env.CreateDatabaseWithProfile(dsn, profile, wal);
   };
   Status s = ensure(config.lrc.enabled ? config.lrc.dsn : "",
-                    config.lrc.wal_recovery);
+                    config.lrc.wal_recovery || config.lrc.wal_group_commit);
   if (!s.ok()) return s;
   // RLI relational state is soft state (rebuilt by LRC updates): legacy
   // WAL profile always.
@@ -175,7 +184,8 @@ Status Topology::Create(const Config& config, net::Transport* network,
   std::vector<std::string> order;  // declaration order = start order
   static const char* kKeys[] = {
       "address", "url", "lrc_server", "rli_server", "lrc_dsn", "rli_dsn",
-      "wal_recovery",
+      "wal_recovery", "wal_group_commit", "wal_group_max_commits",
+      "wal_group_max_wait_us",
       "rli_bloomfilter", "rli_timeout_s", "rli_expire_poll_ms", "rli_parent",
       "update_mode", "update_rli", "update_full_interval_ms",
       "update_immediate_interval_ms", "update_buffer_count", "update_chunk_size",

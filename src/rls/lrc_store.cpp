@@ -22,6 +22,31 @@ Status WithTxn(Connection& conn, const std::function<Status()>& body) {
   return conn.Commit();
 }
 
+/// WithTxn with a split commit: the WAL slot is reserved (fixing replay
+/// order) while `write_lock` is still held, then the lock drops before
+/// parking for the — possibly group — sync, so concurrent writers can
+/// share one fdatasync. `on_logged` fires under the lock once the
+/// transaction is in the log's commit order (soft-state events stay
+/// ordered); in per-txn-flush mode the commit is already complete and
+/// durable at that point.
+Status WithTxnDeferred(Connection& conn, std::unique_lock<std::mutex>& write_lock,
+                       const std::function<Status()>& body,
+                       const std::function<void()>& on_logged) {
+  Status s = conn.Begin();
+  if (!s.ok()) return s;
+  s = body();
+  if (!s.ok()) {
+    (void)conn.Rollback();
+    return s;
+  }
+  rdb::Wal::CommitTicket ticket;
+  s = conn.CommitBegin(&ticket);
+  if (!s.ok()) return s;
+  if (on_logged) on_logged();
+  write_lock.unlock();
+  return conn.CommitFinish(&ticket);
+}
+
 const char* AttrTable(AttrType type) {
   switch (type) {
     case AttrType::kString: return "t_str_attr";
@@ -157,72 +182,77 @@ Status LrcStore::LookupId(Connection& conn, const char* table,
   return Status::Ok();
 }
 
+Status LrcStore::InsertMappingTx(Connection& conn, const std::string& logical,
+                                 const std::string& target, bool create_new,
+                                 bool* lfn_added) {
+  int64_t lfn_id = 0;
+  Status st = LookupId(conn, "t_lfn", logical, &lfn_id);
+  if (!st.ok()) return st;
+  if (create_new && lfn_id != 0) {
+    return Status::AlreadyExists("logical name already registered: " + logical);
+  }
+  if (!create_new && lfn_id == 0) {
+    return Status::NotFound("logical name not registered: " + logical);
+  }
+
+  int64_t pfn_id = 0;
+  st = LookupId(conn, "t_pfn", target, &pfn_id);
+  if (!st.ok()) return st;
+
+  if (!create_new && pfn_id != 0) {
+    // Duplicate-mapping check (only possible when both ends exist).
+    ResultSet rs;
+    st = conn.Execute("SELECT COUNT(*) FROM t_map WHERE lfn_id = ? AND pfn_id = ?",
+                      {rdb::Value::Int(lfn_id), rdb::Value::Int(pfn_id)}, &rs);
+    if (!st.ok()) return st;
+    if (rs.at(0, 0).AsInt() > 0) {
+      return Status::AlreadyExists("mapping already exists: " + logical + " -> " +
+                                   target);
+    }
+  }
+
+  ResultSet rs;
+  if (lfn_id == 0) {
+    st = conn.Execute("INSERT INTO t_lfn (name, ref) VALUES (?, 1)",
+                      {rdb::Value::String(logical)}, &rs);
+    if (!st.ok()) return st;
+    lfn_id = rs.last_insert_id;
+    *lfn_added = true;
+  } else {
+    st = conn.Execute("UPDATE t_lfn SET ref = ref + 1 WHERE id = ?",
+                      {rdb::Value::Int(lfn_id)}, &rs);
+    if (!st.ok()) return st;
+  }
+
+  if (pfn_id == 0) {
+    st = conn.Execute("INSERT INTO t_pfn (name, ref) VALUES (?, 1)",
+                      {rdb::Value::String(target)}, &rs);
+    if (!st.ok()) return st;
+    pfn_id = rs.last_insert_id;
+  } else {
+    st = conn.Execute("UPDATE t_pfn SET ref = ref + 1 WHERE id = ?",
+                      {rdb::Value::Int(pfn_id)}, &rs);
+    if (!st.ok()) return st;
+  }
+
+  return conn.Execute("INSERT INTO t_map (lfn_id, pfn_id) VALUES (?, ?)",
+                      {rdb::Value::Int(lfn_id), rdb::Value::Int(pfn_id)}, &rs);
+}
+
 Status LrcStore::InsertMapping(const std::string& logical, const std::string& target,
                                bool create_new) {
-  std::lock_guard<std::mutex> write_lock(write_mu_);
+  std::unique_lock<std::mutex> write_lock(write_mu_);
   dbapi::ConnectionPool::Lease conn;
   Status s = pool_.Acquire(&conn);
   if (!s.ok()) return s;
 
   bool lfn_added = false;
-  s = WithTxn(*conn, [&]() -> Status {
-    int64_t lfn_id = 0;
-    Status st = LookupId(*conn, "t_lfn", logical, &lfn_id);
-    if (!st.ok()) return st;
-    if (create_new && lfn_id != 0) {
-      return Status::AlreadyExists("logical name already registered: " + logical);
-    }
-    if (!create_new && lfn_id == 0) {
-      return Status::NotFound("logical name not registered: " + logical);
-    }
-
-    int64_t pfn_id = 0;
-    st = LookupId(*conn, "t_pfn", target, &pfn_id);
-    if (!st.ok()) return st;
-
-    if (!create_new && pfn_id != 0) {
-      // Duplicate-mapping check (only possible when both ends exist).
-      ResultSet rs;
-      st = conn->Execute(
-          "SELECT COUNT(*) FROM t_map WHERE lfn_id = ? AND pfn_id = ?",
-          {rdb::Value::Int(lfn_id), rdb::Value::Int(pfn_id)}, &rs);
-      if (!st.ok()) return st;
-      if (rs.at(0, 0).AsInt() > 0) {
-        return Status::AlreadyExists("mapping already exists: " + logical + " -> " +
-                                     target);
-      }
-    }
-
-    ResultSet rs;
-    if (lfn_id == 0) {
-      st = conn->Execute("INSERT INTO t_lfn (name, ref) VALUES (?, 1)",
-                         {rdb::Value::String(logical)}, &rs);
-      if (!st.ok()) return st;
-      lfn_id = rs.last_insert_id;
-      lfn_added = true;
-    } else {
-      st = conn->Execute("UPDATE t_lfn SET ref = ref + 1 WHERE id = ?",
-                         {rdb::Value::Int(lfn_id)}, &rs);
-      if (!st.ok()) return st;
-    }
-
-    if (pfn_id == 0) {
-      st = conn->Execute("INSERT INTO t_pfn (name, ref) VALUES (?, 1)",
-                         {rdb::Value::String(target)}, &rs);
-      if (!st.ok()) return st;
-      pfn_id = rs.last_insert_id;
-    } else {
-      st = conn->Execute("UPDATE t_pfn SET ref = ref + 1 WHERE id = ?",
-                         {rdb::Value::Int(pfn_id)}, &rs);
-      if (!st.ok()) return st;
-    }
-
-    return conn->Execute("INSERT INTO t_map (lfn_id, pfn_id) VALUES (?, ?)",
-                         {rdb::Value::Int(lfn_id), rdb::Value::Int(pfn_id)}, &rs);
-  });
-  if (!s.ok()) return s;
-  if (lfn_added && observer_) observer_(logical, /*added=*/true);
-  return Status::Ok();
+  return WithTxnDeferred(
+      *conn, write_lock,
+      [&] { return InsertMappingTx(*conn, logical, target, create_new, &lfn_added); },
+      [&] {
+        if (lfn_added && observer_) observer_(logical, /*added=*/true);
+      });
 }
 
 Status LrcStore::CreateMapping(const std::string& logical, const std::string& target) {
@@ -233,65 +263,134 @@ Status LrcStore::AddMapping(const std::string& logical, const std::string& targe
   return InsertMapping(logical, target, /*create_new=*/false);
 }
 
+Status LrcStore::DeleteMappingTx(Connection& conn, const std::string& logical,
+                                 const std::string& target, bool* lfn_removed) {
+  int64_t lfn_id = 0, pfn_id = 0;
+  Status st = LookupId(conn, "t_lfn", logical, &lfn_id);
+  if (!st.ok()) return st;
+  if (lfn_id == 0) return Status::NotFound("logical name not registered: " + logical);
+  st = LookupId(conn, "t_pfn", target, &pfn_id);
+  if (!st.ok()) return st;
+  if (pfn_id == 0) return Status::NotFound("target name not registered: " + target);
+
+  ResultSet rs;
+  st = conn.Execute("DELETE FROM t_map WHERE lfn_id = ? AND pfn_id = ?",
+                    {rdb::Value::Int(lfn_id), rdb::Value::Int(pfn_id)}, &rs);
+  if (!st.ok()) return st;
+  if (rs.affected == 0) {
+    return Status::NotFound("mapping does not exist: " + logical + " -> " + target);
+  }
+
+  // Decrement / remove the logical-name row.
+  st = conn.Execute("SELECT ref FROM t_lfn WHERE id = ?",
+                    {rdb::Value::Int(lfn_id)}, &rs);
+  if (!st.ok()) return st;
+  if (rs.at(0, 0).AsInt() <= 1) {
+    st = conn.Execute("DELETE FROM t_lfn WHERE id = ?", {rdb::Value::Int(lfn_id)}, &rs);
+    if (!st.ok()) return st;
+    *lfn_removed = true;
+    st = DeleteObjectAttributes(conn, lfn_id, AttrObject::kLogical);
+    if (!st.ok()) return st;
+  } else {
+    st = conn.Execute("UPDATE t_lfn SET ref = ref - 1 WHERE id = ?",
+                      {rdb::Value::Int(lfn_id)}, &rs);
+    if (!st.ok()) return st;
+  }
+
+  // Decrement / remove the target-name row.
+  st = conn.Execute("SELECT ref FROM t_pfn WHERE id = ?",
+                    {rdb::Value::Int(pfn_id)}, &rs);
+  if (!st.ok()) return st;
+  if (rs.at(0, 0).AsInt() <= 1) {
+    st = conn.Execute("DELETE FROM t_pfn WHERE id = ?", {rdb::Value::Int(pfn_id)}, &rs);
+    if (!st.ok()) return st;
+    st = DeleteObjectAttributes(conn, pfn_id, AttrObject::kTarget);
+    if (!st.ok()) return st;
+  } else {
+    st = conn.Execute("UPDATE t_pfn SET ref = ref - 1 WHERE id = ?",
+                      {rdb::Value::Int(pfn_id)}, &rs);
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
 Status LrcStore::DeleteMapping(const std::string& logical, const std::string& target) {
-  std::lock_guard<std::mutex> write_lock(write_mu_);
+  std::unique_lock<std::mutex> write_lock(write_mu_);
   dbapi::ConnectionPool::Lease conn;
   Status s = pool_.Acquire(&conn);
   if (!s.ok()) return s;
 
   bool lfn_removed = false;
-  s = WithTxn(*conn, [&]() -> Status {
-    int64_t lfn_id = 0, pfn_id = 0;
-    Status st = LookupId(*conn, "t_lfn", logical, &lfn_id);
-    if (!st.ok()) return st;
-    if (lfn_id == 0) return Status::NotFound("logical name not registered: " + logical);
-    st = LookupId(*conn, "t_pfn", target, &pfn_id);
-    if (!st.ok()) return st;
-    if (pfn_id == 0) return Status::NotFound("target name not registered: " + target);
+  return WithTxnDeferred(
+      *conn, write_lock,
+      [&] { return DeleteMappingTx(*conn, logical, target, &lfn_removed); },
+      [&] {
+        if (lfn_removed && observer_) observer_(logical, /*added=*/false);
+      });
+}
 
-    ResultSet rs;
-    st = conn->Execute("DELETE FROM t_map WHERE lfn_id = ? AND pfn_id = ?",
-                       {rdb::Value::Int(lfn_id), rdb::Value::Int(pfn_id)}, &rs);
-    if (!st.ok()) return st;
-    if (rs.affected == 0) {
-      return Status::NotFound("mapping does not exist: " + logical + " -> " + target);
-    }
+Status LrcStore::MutateMappings(const std::vector<Mapping>& mappings, MappingOp op,
+                                BulkStatusResponse* result) {
+  result->succeeded = 0;
+  result->failures.clear();
+  if (mappings.empty()) return Status::Ok();
 
-    // Decrement / remove the logical-name row.
-    st = conn->Execute("SELECT ref FROM t_lfn WHERE id = ?",
-                       {rdb::Value::Int(lfn_id)}, &rs);
-    if (!st.ok()) return st;
-    if (rs.at(0, 0).AsInt() <= 1) {
-      st = conn->Execute("DELETE FROM t_lfn WHERE id = ?", {rdb::Value::Int(lfn_id)}, &rs);
-      if (!st.ok()) return st;
-      lfn_removed = true;
-      st = DeleteObjectAttributes(*conn, lfn_id, AttrObject::kLogical);
-      if (!st.ok()) return st;
-    } else {
-      st = conn->Execute("UPDATE t_lfn SET ref = ref - 1 WHERE id = ?",
-                         {rdb::Value::Int(lfn_id)}, &rs);
-      if (!st.ok()) return st;
-    }
-
-    // Decrement / remove the target-name row.
-    st = conn->Execute("SELECT ref FROM t_pfn WHERE id = ?",
-                       {rdb::Value::Int(pfn_id)}, &rs);
-    if (!st.ok()) return st;
-    if (rs.at(0, 0).AsInt() <= 1) {
-      st = conn->Execute("DELETE FROM t_pfn WHERE id = ?", {rdb::Value::Int(pfn_id)}, &rs);
-      if (!st.ok()) return st;
-      st = DeleteObjectAttributes(*conn, pfn_id, AttrObject::kTarget);
-      if (!st.ok()) return st;
-    } else {
-      st = conn->Execute("UPDATE t_pfn SET ref = ref - 1 WHERE id = ?",
-                         {rdb::Value::Int(pfn_id)}, &rs);
-      if (!st.ok()) return st;
-    }
-    return Status::Ok();
-  });
+  std::unique_lock<std::mutex> write_lock(write_mu_);
+  dbapi::ConnectionPool::Lease conn;
+  Status s = pool_.Acquire(&conn);
   if (!s.ok()) return s;
-  if (lfn_removed && observer_) observer_(logical, /*added=*/false);
-  return Status::Ok();
+  s = conn->Begin();
+  if (!s.ok()) return s;
+
+  // Soft-state events collected per item, fired in order once the batch
+  // is in the log's commit order.
+  std::vector<std::pair<const std::string*, bool>> events;
+  for (uint32_t i = 0; i < mappings.size(); ++i) {
+    const Mapping& m = mappings[i];
+    const sql::Savepoint sp = conn->Savepoint();
+    bool lfn_added = false, lfn_removed = false;
+    Status item = op == MappingOp::kDelete
+                      ? DeleteMappingTx(*conn, m.logical, m.target, &lfn_removed)
+                      : InsertMappingTx(*conn, m.logical, m.target,
+                                        op == MappingOp::kCreate, &lfn_added);
+    if (item.ok()) {
+      ++result->succeeded;
+      if (lfn_added) events.emplace_back(&m.logical, true);
+      if (lfn_removed) events.emplace_back(&m.logical, false);
+    } else {
+      Status undo = conn->RollbackToSavepoint(sp);
+      if (!undo.ok()) {
+        // Undo failed: the in-memory state is suspect, drop the batch.
+        (void)conn->Rollback();
+        return undo;
+      }
+      result->failures.push_back({i, item.code()});
+    }
+  }
+
+  rdb::Wal::CommitTicket ticket;
+  s = conn->CommitBegin(&ticket);
+  if (!s.ok()) return s;
+  if (observer_) {
+    for (const auto& [logical, added] : events) observer_(*logical, added);
+  }
+  write_lock.unlock();
+  return conn->CommitFinish(&ticket);
+}
+
+Status LrcStore::CreateMappings(const std::vector<Mapping>& mappings,
+                                BulkStatusResponse* result) {
+  return MutateMappings(mappings, MappingOp::kCreate, result);
+}
+
+Status LrcStore::AddMappings(const std::vector<Mapping>& mappings,
+                             BulkStatusResponse* result) {
+  return MutateMappings(mappings, MappingOp::kAdd, result);
+}
+
+Status LrcStore::DeleteMappings(const std::vector<Mapping>& mappings,
+                                BulkStatusResponse* result) {
+  return MutateMappings(mappings, MappingOp::kDelete, result);
 }
 
 namespace {

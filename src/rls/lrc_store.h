@@ -41,6 +41,20 @@ class LrcStore {
   rlscommon::Status AddMapping(const std::string& logical, const std::string& target);
   rlscommon::Status DeleteMapping(const std::string& logical, const std::string& target);
 
+  // --- batched mapping management ---
+  /// Applies the whole batch in ONE multi-row WAL transaction: one log
+  /// append and one (possibly group) sync instead of a commit per item —
+  /// the paper's bulk-operation path (§3.3, Fig. 11). A failed item rolls
+  /// back to its savepoint and is reported in `result->failures`; the
+  /// surviving items commit together. A non-OK return means the batch's
+  /// commit itself failed and nothing is durable.
+  rlscommon::Status CreateMappings(const std::vector<Mapping>& mappings,
+                                   BulkStatusResponse* result);
+  rlscommon::Status AddMappings(const std::vector<Mapping>& mappings,
+                                BulkStatusResponse* result);
+  rlscommon::Status DeleteMappings(const std::vector<Mapping>& mappings,
+                                   BulkStatusResponse* result);
+
   // --- queries ---
   /// `offset`/`limit` page large result sets (the original client's
   /// offset/reslimit arguments); limit 0 = unlimited.
@@ -131,6 +145,23 @@ class LrcStore {
   /// Shared implementation of Create/Add.
   rlscommon::Status InsertMapping(const std::string& logical, const std::string& target,
                                   bool create_new);
+
+  /// Transaction bodies shared by the single and batched write paths.
+  /// Both run inside an already-open transaction on `conn` and report
+  /// soft-state events through the out-flags instead of firing the
+  /// change observer themselves.
+  static rlscommon::Status InsertMappingTx(dbapi::Connection& conn,
+                                           const std::string& logical,
+                                           const std::string& target,
+                                           bool create_new, bool* lfn_added);
+  static rlscommon::Status DeleteMappingTx(dbapi::Connection& conn,
+                                           const std::string& logical,
+                                           const std::string& target,
+                                           bool* lfn_removed);
+
+  enum class MappingOp { kCreate, kAdd, kDelete };
+  rlscommon::Status MutateMappings(const std::vector<Mapping>& mappings,
+                                   MappingOp op, BulkStatusResponse* result);
 
   mutable dbapi::ConnectionPool pool_;
   rdb::Database* db_ = nullptr;  // set by Create after recovery

@@ -517,6 +517,10 @@ void GetStatsResponse::Encode(std::string* out) const {
   w.U64(wal.checksum_failures);
   w.U64(wal.last_lsn);
   w.U64(wal.recover_micros);
+  w.U8(wal.group_commit);
+  w.U64(wal.commits);
+  w.U64(wal.syncs);
+  w.U64(wal.group_commits);
   w.U32(static_cast<uint32_t>(targets.size()));
   for (const TargetStatus& t : targets) t.Encode(&w);
   w.U32(static_cast<uint32_t>(metrics.size()));
@@ -554,7 +558,9 @@ Status GetStatsResponse::Decode(std::string_view data, GetStatsResponse* out) {
       !r.U64(&out->wal.records_applied) || !r.U64(&out->wal.snapshot_rows) ||
       !r.U64(&out->wal.torn_tail_bytes) ||
       !r.U64(&out->wal.checksum_failures) || !r.U64(&out->wal.last_lsn) ||
-      !r.U64(&out->wal.recover_micros)) {
+      !r.U64(&out->wal.recover_micros) || !r.U8(&out->wal.group_commit) ||
+      !r.U64(&out->wal.commits) || !r.U64(&out->wal.syncs) ||
+      !r.U64(&out->wal.group_commits)) {
     return TruncatedMessage("get stats wal recovery status");
   }
   uint32_t target_count = 0;

@@ -303,6 +303,13 @@ struct WalRecoveryStatus {
   uint64_t checksum_failures = 0;
   uint64_t last_lsn = 0;         // highest LSN seen (replayed or committed)
   uint64_t recover_micros = 0;   // wall time of open-time replay
+  // Commit-scheduling vitals (live, not replay): with group commit on,
+  // syncs stays far below commits — the batching the durability-ceiling
+  // experiment measures.
+  uint8_t group_commit = 0;      // leader/follower group commit active
+  uint64_t commits = 0;          // transactions committed since open
+  uint64_t syncs = 0;            // fdatasyncs issued
+  uint64_t group_commits = 0;    // batches written by group leaders
 };
 
 struct GetStatsResponse {

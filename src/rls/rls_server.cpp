@@ -67,6 +67,33 @@ Status RlsServer::Start() {
     lrc_store_->SetChangeObserver([this](const std::string& lfn, bool added) {
       update_manager_->OnMappingChange(lfn, added);
     });
+    if (lrc_store_->database()) {
+      rdb::Database* db = lrc_store_->database();
+      if (config_.lrc.wal_group_commit) {
+        // Config-driven enable (profile-driven databases arrive with it
+        // already on; SetGroupCommit is idempotent). Recovery has run,
+        // so no commits are in flight yet.
+        db->SetGroupCommit(true);
+      }
+      // WAL commit-scheduling instruments: batch-size distribution,
+      // time a committer spends parked for its group's sync (exemplar =
+      // slowest waiter's trace, the `wal_sync` stage in its breakdown),
+      // and batches flushed.
+      obs::Histogram* group_size = registry_.GetHistogram("wal_group_size");
+      obs::Histogram* sync_wait = registry_.GetHistogram("wal_sync_wait_us");
+      obs::Counter* group_commits = registry_.GetCounter("wal_group_commits_total");
+      rdb::WalObserver wal_observer;
+      wal_observer.group_commit = [group_size, group_commits](uint64_t frames,
+                                                              uint64_t) {
+        group_size->RecordMicros(frames);  // dimensionless: commits per batch
+        group_commits->Increment();
+      };
+      wal_observer.sync_wait = [sync_wait](uint64_t wait_us, uint64_t trace_id) {
+        sync_wait->RecordMicros(wait_us);
+        sync_wait->OfferExemplar(wait_us, trace_id);
+      };
+      db->wal().SetObserver(std::move(wal_observer));
+    }
   }
   if (config_.rli.enabled) {
     if (!config_.rli.dsn.empty()) {
@@ -161,6 +188,11 @@ void RlsServer::Stop() {
   if (exporter_) exporter_->Stop();
   if (update_manager_) update_manager_->Stop();
   if (rpc_server_) rpc_server_->Stop();
+  // The WAL outlives this server (the Environment owns the database) but
+  // its observer captures registry-owned instruments; detach it.
+  if (lrc_store_ && lrc_store_->database()) {
+    lrc_store_->database()->wal().SetObserver({});
+  }
   // The gauges capture raw store pointers; drop them before the stores go.
   UnregisterGauges();
 }
@@ -197,6 +229,12 @@ void RlsServer::RegisterGauges() {
       return static_cast<double>(db->recovery_stats().checksum_failures +
                                  db->wal().checksum_failures());
     });
+    registry_.RegisterCallback("wal_commits", "", [db] {
+      return static_cast<double>(db->wal().commits());
+    });
+    registry_.RegisterCallback("wal_syncs", "", [db] {
+      return static_cast<double>(db->wal().syncs());
+    });
   }
   if (rli_relational_) {
     registry_.RegisterCallback("rli_associations", "", [this] {
@@ -224,6 +262,8 @@ void RlsServer::UnregisterGauges() {
   registry_.UnregisterCallback("wal_recovered_txns", "");
   registry_.UnregisterCallback("wal_torn_tail_bytes", "");
   registry_.UnregisterCallback("wal_checksum_failures", "");
+  registry_.UnregisterCallback("wal_commits", "");
+  registry_.UnregisterCallback("wal_syncs", "");
   registry_.UnregisterCallback("rli_associations", "");
   registry_.UnregisterCallback("rli_bloom_filters", "");
   registry_.UnregisterCallback("trace_recorder_depth", "");
@@ -264,6 +304,10 @@ GetStatsResponse RlsServer::GetStatsSnapshot() const {
         rec.checksum_failures + db->wal().checksum_failures();
     resp.wal.last_lsn = db->wal().last_lsn();
     resp.wal.recover_micros = rec.recover_micros;
+    resp.wal.group_commit = db->wal().group_commit_enabled() ? 1 : 0;
+    resp.wal.commits = db->wal().commits();
+    resp.wal.syncs = db->wal().syncs();
+    resp.wal.group_commits = db->wal().group_commits();
   }
   if (update_manager_) {
     for (const TargetFreshness& f : update_manager_->TargetStatuses()) {
@@ -564,23 +608,17 @@ Status RlsServer::HandleLrc(const gsi::AuthContext& auth, uint16_t opcode,
       MappingRequest req;
       s = MappingRequest::Decode(request, &req);
       if (!s.ok()) return s;
+      // One multi-row WAL transaction for the whole batch (single log
+      // append + single sync) instead of a commit per item.
       BulkStatusResponse result;
-      for (uint32_t i = 0; i < req.mappings.size(); ++i) {
-        const Mapping& m = req.mappings[i];
-        Status item;
-        if (opcode == kLrcBulkCreate) {
-          item = store.CreateMapping(m.logical, m.target);
-        } else if (opcode == kLrcBulkAdd) {
-          item = store.AddMapping(m.logical, m.target);
-        } else {
-          item = store.DeleteMapping(m.logical, m.target);
-        }
-        if (item.ok()) {
-          ++result.succeeded;
-        } else {
-          result.failures.push_back({i, item.code()});
-        }
+      if (opcode == kLrcBulkCreate) {
+        s = store.CreateMappings(req.mappings, &result);
+      } else if (opcode == kLrcBulkAdd) {
+        s = store.AddMappings(req.mappings, &result);
+      } else {
+        s = store.DeleteMappings(req.mappings, &result);
       }
+      if (!s.ok()) return s;
       result.Encode(response);
       return Status::Ok();
     }

@@ -59,6 +59,15 @@ struct LrcRoleConfig {
   /// records, checkpoint-at-wrap, open-time replay (config key
   /// `wal_recovery`). Off = the legacy bytes-only flush model.
   bool wal_recovery = false;
+  /// WAL group commit (config key `wal_group_commit`): concurrent
+  /// committers share one fdatasync + one modeled-disk penalty per
+  /// batch instead of paying one each. Orthogonal to wal_recovery.
+  bool wal_group_commit = false;
+  /// Batch-size cap for group commit; 0 = engine default (64).
+  std::size_t wal_group_max_commits = 0;
+  /// Leader linger for the batch to fill (config key
+  /// `wal_group_max_wait_us`); 0 = sync as soon as the leader drains.
+  std::chrono::microseconds wal_group_max_wait{0};
 };
 
 struct ObsConfig {

@@ -295,6 +295,18 @@ Status Engine::ExecuteSql(std::string_view text, const std::vector<Value>& param
 Status Engine::Execute(const Statement& stmt, const std::vector<Value>& params,
                        Session* session, ResultSet* result) {
   *result = ResultSet{};
+  // Recovery profiles: hold the txn gate shared across the window
+  // between applying a mutation to the tables and reserving its WAL
+  // LSN, so a deferred checkpoint (group-commit wrap) can wait out that
+  // window and never snapshot effects its LSN stamp would replay again.
+  const bool mutating = std::holds_alternative<InsertStmt>(stmt) ||
+                        std::holds_alternative<UpdateStmt>(stmt) ||
+                        std::holds_alternative<DeleteStmt>(stmt);
+  if (session && mutating && !session->holds_txn_gate_ &&
+      db_->profile().wal_recovery) {
+    db_->LockTxnGateShared();
+    session->holds_txn_gate_ = true;
+  }
   Status status = std::visit(
       [&](const auto& s) -> Status {
         using T = std::decay_t<decltype(s)>;
@@ -325,12 +337,20 @@ Status Engine::Execute(const Statement& stmt, const std::vector<Value>& params,
         }
       },
       stmt);
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    // A failed statement outside a transaction has nothing left to
+    // commit or roll back; do not keep blocking checkpoints.
+    if (session && !session->in_txn_) ReleaseTxnGate(session);
+    return status;
+  }
   // Autocommit any buffered mutations when no transaction is open.
   if (session && !session->in_txn_ && !session->wal_buffer_.empty()) {
     session->undo_.clear();
     return CommitWal(session);
   }
+  // Mutating statement that touched no rows outside a transaction: the
+  // gate was taken but there is nothing to commit.
+  if (session && !session->in_txn_) ReleaseTxnGate(session);
   if (session) result->last_insert_id = session->last_insert_id_;
   return Status::Ok();
 }
@@ -787,22 +807,66 @@ Status Engine::ExecTxn(const TxnStmt& stmt, Session* session) {
       if (!session->in_txn_) return Status::InvalidArgument("no open transaction");
       session->in_txn_ = false;
       session->wal_buffer_.clear();
-      return ApplyUndo(session, 0);
+      Status s = ApplyUndo(session, 0);
+      ReleaseTxnGate(session);
+      return s;
     }
   }
   return Status::Internal("bad txn kind");
 }
 
 Status Engine::CommitWal(Session* session) {
+  rdb::Wal::CommitTicket ticket;
+  Status s = CommitWalBegin(session, &ticket);
+  if (!s.ok()) return s;
+  return CommitWait(&ticket);
+}
+
+Status Engine::CommitWalBegin(Session* session,
+                              rdb::Wal::CommitTicket* ticket) {
   // Stage stamp on the ambient request span: time up to here was the
-  // transaction's parse/plan/execute work; the WAL commit below stamps
-  // wal_sync when it syncs durably.
+  // transaction's parse/plan/execute work; the WAL commit stamps
+  // wal_sync once its group (or its own sync) completes.
   rlscommon::StampHop("db_txn");
   const rdb::BackendProfile& profile = db_->profile();
-  Status s = db_->wal().Commit(session->wal_buffer_, profile.durable_flush,
-                               profile.durable_flush_penalty);
+  Status s = db_->wal().CommitBegin(session->wal_buffer_,
+                                    profile.durable_flush,
+                                    profile.durable_flush_penalty, ticket);
   session->wal_buffer_.clear();
+  // The WAL has reserved this transaction's LSN (or rejected it): a
+  // checkpoint snapshot from here on accounts for it correctly.
+  ReleaseTxnGate(session);
   return s;
+}
+
+Status Engine::CommitBegin(Session* session, rdb::Wal::CommitTicket* ticket) {
+  if (!session) return Status::InvalidArgument("commit needs a session");
+  if (!session->in_txn_) return Status::InvalidArgument("no open transaction");
+  session->in_txn_ = false;
+  session->undo_.clear();
+  return CommitWalBegin(session, ticket);
+}
+
+Status Engine::CommitWait(rdb::Wal::CommitTicket* ticket) {
+  Status s = db_->wal().CommitFinish(ticket);
+  // A group-commit batch that crossed the recycle threshold deferred
+  // its checkpoint; run it now that this thread holds no locks.
+  Status ckpt = db_->MaybeCheckpoint();
+  return s.ok() ? ckpt : s;
+}
+
+Status Engine::RollbackToSavepoint(Session* session, const Savepoint& sp) {
+  if (!session) return Status::InvalidArgument("savepoints need a session");
+  if (session->wal_buffer_.size() > sp.wal_size) {
+    session->wal_buffer_.resize(sp.wal_size);
+  }
+  return ApplyUndo(session, sp.undo_size);
+}
+
+void Engine::ReleaseTxnGate(Session* session) {
+  if (!session->holds_txn_gate_) return;
+  session->holds_txn_gate_ = false;
+  db_->UnlockTxnGateShared();
 }
 
 Status Engine::ApplyUndo(Session* session, std::size_t down_to) {

@@ -22,6 +22,15 @@
 
 namespace sql {
 
+/// A point inside an open transaction that RollbackToSavepoint can
+/// rewind to: later undo records are inverted and later WAL-buffer
+/// bytes dropped, leaving the transaction open. Powers per-item
+/// isolation inside batched (multi-row) transactions.
+struct Savepoint {
+  std::size_t undo_size = 0;
+  std::size_t wal_size = 0;
+};
+
 class Engine {
  public:
   explicit Engine(rdb::Database* db) : db_(db) {}
@@ -38,6 +47,28 @@ class Engine {
                                Session* session, ResultSet* result);
 
   rdb::Database* database() { return db_; }
+
+  /// First half of COMMIT, split so a caller can release its own
+  /// ordering lock before parking for the group sync: closes the open
+  /// transaction, hands the WAL buffer to the log (group mode: reserves
+  /// the LSN and enqueues without blocking on disk) and releases the
+  /// txn gate. Complete with CommitWait.
+  rlscommon::Status CommitBegin(Session* session,
+                                rdb::Wal::CommitTicket* ticket);
+
+  /// Second half of COMMIT: parks until the ticket's batch is synced,
+  /// then runs any checkpoint a group-commit wrap deferred.
+  rlscommon::Status CommitWait(rdb::Wal::CommitTicket* ticket);
+
+  /// Marks the current position of the open transaction (batched write
+  /// paths take one per item).
+  Savepoint MakeSavepoint(const Session* session) const {
+    return Savepoint{session->undo_.size(), session->wal_buffer_.size()};
+  }
+
+  /// Rewinds the open transaction to `sp`: inverts the undo records
+  /// pushed since, drops their WAL bytes, keeps the transaction open.
+  rlscommon::Status RollbackToSavepoint(Session* session, const Savepoint& sp);
 
  private:
   rlscommon::Status ExecSelect(const SelectStmt& stmt,
@@ -59,11 +90,20 @@ class Engine {
                                 const std::vector<rdb::Value>& params,
                                 ResultSet* result);
 
-  /// Commits the session's WAL buffer (autocommit or explicit COMMIT).
+  /// Commits the session's WAL buffer (autocommit or explicit COMMIT):
+  /// CommitWalBegin + CommitWait in one blocking step.
   rlscommon::Status CommitWal(Session* session);
+
+  /// Hands the WAL buffer to the log (enqueue half) and releases the
+  /// txn gate. The commit completes via CommitWait on the ticket.
+  rlscommon::Status CommitWalBegin(Session* session,
+                                   rdb::Wal::CommitTicket* ticket);
 
   /// Applies the undo log in reverse (ROLLBACK / failed statement).
   rlscommon::Status ApplyUndo(Session* session, std::size_t down_to);
+
+  /// Drops the session's shared hold on the database txn gate, if any.
+  void ReleaseTxnGate(Session* session);
 
   rdb::Database* db_;
 };

@@ -43,6 +43,11 @@ class Session {
   std::vector<UndoRecord> undo_;
   std::string wal_buffer_;
   int64_t last_insert_id_ = 0;
+  /// True while this session holds the database's txn gate shared
+  /// (wal_recovery profiles: from the first logged mutation until the
+  /// WAL reserves the commit's LSN, or rollback). See
+  /// rdb::Database::LockTxnGateShared.
+  bool holds_txn_gate_ = false;
 };
 
 }  // namespace sql

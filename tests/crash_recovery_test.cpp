@@ -12,15 +12,21 @@
 // Environment knobs (the scripts/check.sh crash gate turns them up):
 //   RLS_CRASH_TXNS   workload size      (default 120)
 //   RLS_CRASH_SEED   workload seed      (default 42)
+//   RLS_CRASH_GROUP  1 = run the whole matrix with WAL group commit
+//                    enabled (batched appends; scripts/crash_matrix.sh
+//                    runs both modes)
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -76,6 +82,10 @@ bool CopyFile(const std::string& from, const std::string& to) {
 rdb::BackendProfile RecoveryProfile(uint64_t recycle_bytes = 0) {
   rdb::BackendProfile profile = rdb::BackendProfile::MySQL();
   profile.wal_recovery = true;
+  // With RLS_CRASH_GROUP=1 every commit goes through the group-commit
+  // leader/batch path (batches of one for this single-threaded
+  // workload): the whole matrix must hold in both WAL modes.
+  profile.wal_group_commit = EnvU64("RLS_CRASH_GROUP", 0) != 0;
   if (recycle_bytes) profile.wal_recycle_bytes = recycle_bytes;
   return profile;
 }
@@ -408,6 +418,140 @@ TEST_F(CrashRecoveryTest, DoubleReplayIsNoOpAndCommitsContinue) {
   dbapi::Environment reboot_env;
   rdb::Database* db2 = Reopen(reboot_env, NewDsn(), wal);
   EXPECT_EQ(DumpTable(db2), extended);
+  RemoveDbFiles(wal);
+}
+
+// Group commit batches several transactions into ONE contiguous
+// append. A power cut landing inside that batch must still recover a
+// whole-transaction prefix: complete frames from the batch apply,
+// the torn frame is dropped whole, frames after the tear are gone.
+TEST_F(CrashRecoveryTest, GroupedBatchCutsRecoverWholeTransactionPrefix) {
+  const std::string wal = dir_ + "/group.wal";
+  RemoveDbFiles(wal);
+
+  rdb::BackendProfile profile = RecoveryProfile();
+  profile.wal_group_commit = true;
+  profile.wal_group_max_commits = 4;
+  profile.wal_group_max_wait = std::chrono::microseconds(2'000'000);
+
+  dbapi::Environment live_env;
+  const std::string dsn = NewDsn();
+  ASSERT_TRUE(live_env.CreateDatabaseWithProfile(dsn, profile, wal).ok());
+  std::unique_ptr<dbapi::Connection> schema_conn;
+  ASSERT_TRUE(dbapi::Connection::Open(live_env, dsn, &schema_conn).ok());
+  ASSERT_TRUE(CreateKvSchema(*schema_conn).ok());
+  rdb::Database* db = live_env.Find(dsn);
+  ASSERT_TRUE(db->Recover().ok());
+  const uint64_t before = db->wal().file_bytes();
+
+  // 4 committers with a linger wide enough to collect all of them:
+  // exactly one batch, one sync. Identical payload shapes give
+  // identical frame sizes, so every intra-batch offset is computable.
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&live_env, &dsn, i] {
+      std::unique_ptr<dbapi::Connection> conn;
+      ASSERT_TRUE(dbapi::Connection::Open(live_env, dsn, &conn).ok());
+      sql::ResultSet rs;
+      EXPECT_TRUE(conn->Execute("INSERT INTO kv (key, value) VALUES (?, ?)",
+                                {rdb::Value::String("gc" + std::to_string(i)),
+                                 rdb::Value::Int(1000 + i)},
+                                &rs)
+                      .ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  const uint64_t after = db->wal().file_bytes();
+  EXPECT_EQ(db->wal().group_commits(), 1u);
+  const uint64_t frame = (after - before) / 4;
+  ASSERT_EQ(frame * 4, after - before) << "frames are not equal-sized";
+
+  // Cut between frames (offset 0) and inside each frame.
+  for (uint64_t k = 0; k < 4; ++k) {
+    for (uint64_t d : {uint64_t{0}, uint64_t{1}, frame / 2, frame - 1}) {
+      const uint64_t cut = before + k * frame + d;
+      const std::string cut_wal = dir_ + "/group_" + std::to_string(k) + "_" +
+                                  std::to_string(d) + ".wal";
+      RemoveDbFiles(cut_wal);
+      ASSERT_TRUE(CopyFile(wal, cut_wal));
+      ASSERT_EQ(::truncate(cut_wal.c_str(), static_cast<off_t>(cut)), 0);
+      dbapi::Environment env;
+      rdb::Database* rec = Reopen(env, NewDsn(), cut_wal);
+      const Model recovered = DumpTable(rec);
+      // Exactly the k complete frames before the cut applied — commit
+      // (= LSN) order, so replayed auto-increment ids are 1..k.
+      EXPECT_EQ(recovered.size(), k) << "cut " << cut;
+      EXPECT_EQ(rec->recovery_stats().recovered_txns, k) << "cut " << cut;
+      EXPECT_EQ(rec->recovery_stats().torn_tail_bytes, d) << "cut " << cut;
+      std::vector<int64_t> ids;
+      for (const auto& [key, row] : recovered) {
+        EXPECT_EQ(key.rfind("gc", 0), 0u) << key;
+        ids.push_back(row.first);
+      }
+      std::sort(ids.begin(), ids.end());
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        EXPECT_EQ(ids[i], static_cast<int64_t>(i + 1)) << "cut " << cut;
+      }
+      RemoveDbFiles(cut_wal);
+    }
+  }
+  RemoveDbFiles(wal);
+}
+
+// The LRC bulk path logs a whole batch as ONE multi-row transaction:
+// a cut anywhere inside that frame must drop the entire batch, never
+// a partial one (all-or-nothing at the frame level).
+TEST_F(CrashRecoveryTest, BulkTransactionIsAllOrNothingAcrossCrash) {
+  const std::string wal = dir_ + "/bulk.wal";
+  RemoveDbFiles(wal);
+
+  dbapi::Environment live_env;
+  const std::string dsn = NewDsn();
+  ASSERT_TRUE(
+      live_env.CreateDatabaseWithProfile(dsn, RecoveryProfile(), wal).ok());
+  std::unique_ptr<dbapi::Connection> conn;
+  ASSERT_TRUE(dbapi::Connection::Open(live_env, dsn, &conn).ok());
+  ASSERT_TRUE(CreateKvSchema(*conn).ok());
+  rdb::Database* db = live_env.Find(dsn);
+  ASSERT_TRUE(db->Recover().ok());
+
+  // One durable anchor txn, then a 10-row batch in a single explicit
+  // transaction (the shape LrcStore::AddMappings logs).
+  sql::ResultSet rs;
+  ASSERT_TRUE(conn->Execute("INSERT INTO kv (key, value) VALUES (?, ?)",
+                            {rdb::Value::String("anchor"), rdb::Value::Int(1)},
+                            &rs)
+                  .ok());
+  const uint64_t anchor_bytes = db->wal().file_bytes();
+  ASSERT_TRUE(conn->Begin().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(conn->Execute("INSERT INTO kv (key, value) VALUES (?, ?)",
+                              {rdb::Value::String("b" + std::to_string(i)),
+                               rdb::Value::Int(i)},
+                              &rs)
+                    .ok());
+  }
+  ASSERT_TRUE(conn->Commit().ok());
+  const uint64_t batch_bytes = db->wal().file_bytes();
+  ASSERT_GT(batch_bytes, anchor_bytes);
+
+  for (uint64_t cut : {anchor_bytes + 1, (anchor_bytes + batch_bytes) / 2,
+                       batch_bytes - 1, batch_bytes}) {
+    const std::string cut_wal = dir_ + "/bulk_" + std::to_string(cut) + ".wal";
+    RemoveDbFiles(cut_wal);
+    ASSERT_TRUE(CopyFile(wal, cut_wal));
+    ASSERT_EQ(::truncate(cut_wal.c_str(), static_cast<off_t>(cut)), 0);
+    dbapi::Environment env;
+    rdb::Database* rec = Reopen(env, NewDsn(), cut_wal);
+    const Model recovered = DumpTable(rec);
+    if (cut == batch_bytes) {
+      EXPECT_EQ(recovered.size(), 11u) << "cut " << cut;  // anchor + batch
+    } else {
+      EXPECT_EQ(recovered.size(), 1u) << "cut " << cut;  // anchor only
+      EXPECT_EQ(recovered.count("anchor"), 1u);
+    }
+    RemoveDbFiles(cut_wal);
+  }
   RemoveDbFiles(wal);
 }
 

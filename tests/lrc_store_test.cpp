@@ -289,5 +289,108 @@ TEST_F(LrcStoreTest, ForEachLogicalNameChunks) {
   EXPECT_EQ(names, 25u);
 }
 
+// --- batched mapping management (bulk RPC write path) ---
+
+TEST_F(LrcStoreTest, BulkCreateIsOneWalTransaction) {
+  const uint64_t commits_before = store_->database()->wal().commits();
+  std::vector<Mapping> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back({"bulk" + std::to_string(i), "pfn" + std::to_string(i)});
+  }
+  BulkStatusResponse result;
+  ASSERT_TRUE(store_->CreateMappings(batch, &result).ok());
+  EXPECT_EQ(result.succeeded, 5u);
+  EXPECT_TRUE(result.failures.empty());
+  // The whole batch coalesces into ONE logged transaction — the point
+  // of the bulk path (one append + one sync instead of five).
+  EXPECT_EQ(store_->database()->wal().commits(), commits_before + 1);
+  std::vector<std::string> targets;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store_->QueryLogical("bulk" + std::to_string(i), &targets).ok());
+    EXPECT_EQ(targets, std::vector<std::string>{"pfn" + std::to_string(i)});
+  }
+}
+
+TEST_F(LrcStoreTest, BulkCreatePartialFailureKeepsSurvivors) {
+  ASSERT_TRUE(store_->CreateMapping("taken", "p0").ok());
+  // Item 1 collides with existing state, item 3 with item 0 INSIDE the
+  // same uncommitted batch (savepoint visibility).
+  const std::vector<Mapping> batch = {
+      {"a", "p1"}, {"taken", "px"}, {"b", "p2"}, {"a", "p3"}};
+  BulkStatusResponse result;
+  ASSERT_TRUE(store_->CreateMappings(batch, &result).ok());
+  EXPECT_EQ(result.succeeded, 2u);
+  ASSERT_EQ(result.failures.size(), 2u);
+  EXPECT_EQ(result.failures[0].index, 1u);
+  EXPECT_EQ(result.failures[0].code, ErrorCode::kAlreadyExists);
+  EXPECT_EQ(result.failures[1].index, 3u);
+  EXPECT_EQ(result.failures[1].code, ErrorCode::kAlreadyExists);
+  // Failed items rolled back to their savepoints; survivors committed.
+  std::vector<std::string> targets;
+  ASSERT_TRUE(store_->QueryLogical("a", &targets).ok());
+  EXPECT_EQ(targets, std::vector<std::string>{"p1"});
+  ASSERT_TRUE(store_->QueryLogical("b", &targets).ok());
+  EXPECT_EQ(targets, std::vector<std::string>{"p2"});
+  ASSERT_TRUE(store_->QueryLogical("taken", &targets).ok());
+  EXPECT_EQ(targets, std::vector<std::string>{"p0"});
+}
+
+TEST_F(LrcStoreTest, BulkAddRequiresExistingNamesPerItem) {
+  ASSERT_TRUE(store_->CreateMapping("base", "p0").ok());
+  BulkStatusResponse result;
+  ASSERT_TRUE(
+      store_->AddMappings({{"base", "p1"}, {"missing", "p2"}}, &result).ok());
+  EXPECT_EQ(result.succeeded, 1u);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].index, 1u);
+  EXPECT_EQ(result.failures[0].code, ErrorCode::kNotFound);
+  std::vector<std::string> targets;
+  ASSERT_TRUE(store_->QueryLogical("base", &targets).ok());
+  EXPECT_EQ(targets.size(), 2u);
+  EXPECT_FALSE(store_->LogicalExists("missing"));
+}
+
+TEST_F(LrcStoreTest, BulkDeleteReportsMissingMappings) {
+  ASSERT_TRUE(store_->CreateMapping("x", "p1").ok());
+  ASSERT_TRUE(store_->AddMapping("x", "p2").ok());
+  ASSERT_TRUE(store_->CreateMapping("y", "p1").ok());
+  BulkStatusResponse result;
+  ASSERT_TRUE(
+      store_->DeleteMappings({{"x", "p1"}, {"x", "nope"}, {"y", "p1"}}, &result)
+          .ok());
+  EXPECT_EQ(result.succeeded, 2u);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].index, 1u);
+  EXPECT_EQ(result.failures[0].code, ErrorCode::kNotFound);
+  std::vector<std::string> targets;
+  ASSERT_TRUE(store_->QueryLogical("x", &targets).ok());
+  EXPECT_EQ(targets, std::vector<std::string>{"p2"});
+  EXPECT_FALSE(store_->LogicalExists("y"));
+}
+
+TEST_F(LrcStoreTest, BulkOperationsFireChangeObserverPerTransition) {
+  std::vector<std::pair<std::string, bool>> events;
+  store_->SetChangeObserver([&](const std::string& lfn, bool added) {
+    events.emplace_back(lfn, added);
+  });
+  BulkStatusResponse result;
+  ASSERT_TRUE(store_->CreateMappings({{"m1", "p"}, {"m2", "p"}}, &result).ok());
+  ASSERT_TRUE(store_->DeleteMappings({{"m1", "p"}, {"m2", "p"}}, &result).ok());
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0], std::make_pair(std::string("m1"), true));
+  EXPECT_EQ(events[1], std::make_pair(std::string("m2"), true));
+  EXPECT_EQ(events[2], std::make_pair(std::string("m1"), false));
+  EXPECT_EQ(events[3], std::make_pair(std::string("m2"), false));
+}
+
+TEST_F(LrcStoreTest, EmptyBulkBatchIsANoOp) {
+  const uint64_t commits_before = store_->database()->wal().commits();
+  BulkStatusResponse result;
+  ASSERT_TRUE(store_->CreateMappings({}, &result).ok());
+  EXPECT_EQ(result.succeeded, 0u);
+  EXPECT_TRUE(result.failures.empty());
+  EXPECT_EQ(store_->database()->wal().commits(), commits_before);
+}
+
 }  // namespace
 }  // namespace rls

@@ -237,6 +237,68 @@ TEST(GetStatsTest, SnapshotSpansAllSubsystems) {
   server.Stop();
 }
 
+// Group-commit observability: a server with wal_group_commit on must
+// surface the batching counters through GetStats (WalRecoveryStatus)
+// and the wal_group_size / wal_sync_wait_us / wal_group_commits_total
+// instruments through the registry, and the codec must round-trip the
+// new fields.
+TEST(GetStatsTest, GroupCommitWalCountersSurface) {
+  net::Network network;
+  dbapi::Environment env;
+  rls::RlsServerConfig config;
+  config.address = "obs:gc";
+  config.url = "obs:gc";
+  config.lrc.enabled = true;
+  config.lrc.dsn = "mysql://obs_gc";
+  config.lrc.wal_group_commit = true;
+  ASSERT_TRUE(env.CreateDatabase(config.lrc.dsn).ok());
+  rls::RlsServer server(&network, config, &env);
+  ASSERT_TRUE(server.Start().ok());
+  // Durable flushes so sync waits actually happen (penalty 0: fast).
+  env.Find(config.lrc.dsn)->SetDurableFlush(true);
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&network, t] {
+      std::unique_ptr<rls::LrcClient> client;
+      ASSERT_TRUE(rls::LrcClient::Connect(&network, "obs:gc", {}, &client).ok());
+      for (int i = 0; i < 10; ++i) {
+        std::string name = "gc" + std::to_string(t) + "-" + std::to_string(i);
+        ASSERT_TRUE(client->Create(name, "pfn://" + name).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::unique_ptr<rls::LrcClient> client;
+  ASSERT_TRUE(rls::LrcClient::Connect(&network, "obs:gc", {}, &client).ok());
+  rls::GetStatsResponse stats;
+  ASSERT_TRUE(client->GetStats(&stats).ok());
+  EXPECT_EQ(stats.wal.group_commit, 1);
+  EXPECT_GE(stats.wal.commits, 40u);
+  EXPECT_GE(stats.wal.group_commits, 1u);
+  EXPECT_LE(stats.wal.syncs, stats.wal.commits);
+
+  std::set<std::string> names;
+  for (const rls::MetricSample& m : stats.metrics) names.insert(m.name);
+  for (const char* name :
+       {"wal_group_size", "wal_sync_wait_us", "wal_group_commits_total",
+        "wal_commits", "wal_syncs"}) {
+    EXPECT_TRUE(names.count(name)) << "missing metric " << name;
+  }
+
+  std::string bytes;
+  stats.Encode(&bytes);
+  rls::GetStatsResponse decoded;
+  ASSERT_TRUE(rls::GetStatsResponse::Decode(bytes, &decoded).ok());
+  EXPECT_EQ(decoded.wal.group_commit, 1);
+  EXPECT_EQ(decoded.wal.commits, stats.wal.commits);
+  EXPECT_EQ(decoded.wal.syncs, stats.wal.syncs);
+  EXPECT_EQ(decoded.wal.group_commits, stats.wal.group_commits);
+  server.Stop();
+}
+
 TEST(GetStatsTest, RequiresStatsPrivilege) {
   net::Network network;
   dbapi::Environment env;

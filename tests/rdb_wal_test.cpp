@@ -16,7 +16,10 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -391,6 +394,222 @@ TEST(WalFaultTest, CrashLeavesTornFrameForRecovery) {
   EXPECT_EQ(result.torn_tail_bytes, 9u);
   EXPECT_EQ(FileSize(path), good);
   RemoveWalFiles(path);
+}
+
+// --------------------------------------------------------------------
+// Group commit: leader/follower batching (one write + one sync + one
+// modeled penalty per batch), LSN ordering, and the failure policy for
+// grouped frames.
+// --------------------------------------------------------------------
+
+/// Group-commit options with a linger long enough that `max_commits`
+/// concurrent committers deterministically land in ONE batch.
+WalOptions GroupOptions(uint64_t recycle_bytes, std::size_t max_commits,
+                        std::chrono::microseconds max_wait,
+                        StorageFaultInjector* fault = nullptr) {
+  WalOptions options = RecoveryOptions(recycle_bytes, fault);
+  options.group_commit = true;
+  options.group_max_commits = max_commits;
+  options.group_max_wait = max_wait;
+  return options;
+}
+
+TEST(WalGroupCommitTest, BatchSharesOneSyncAndOnePenalty) {
+  const std::string path = TestPath("wal_group_batch");
+  RemoveWalFiles(path);
+  {
+    // Linger until all 4 committers are queued: exactly one batch.
+    Wal wal(path, GroupOptions(1 << 20, 4, std::chrono::microseconds(2'000'000)));
+    const auto penalty = std::chrono::microseconds(1000);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 4; ++i) {
+      threads.emplace_back([&wal, penalty, i] {
+        EXPECT_TRUE(
+            wal.Commit("payload-" + std::to_string(i), true, penalty).ok());
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(wal.commits(), 4u);
+    EXPECT_EQ(wal.syncs(), 1u);
+    EXPECT_EQ(wal.group_commits(), 1u);
+    // Penalty-per-SYNC invariant: 4 durable commits with a 1000us
+    // modeled penalty each charge 1000us total, not 4000us.
+    EXPECT_EQ(wal.penalty_us_charged(), 1000u);
+    EXPECT_EQ(wal.last_lsn(), 4u);
+  }
+  // The batch's frames replay individually, in LSN order, densely.
+  Wal reopened(path, RecoveryOptions(1 << 20));
+  WalRecoverResult result;
+  const auto frames = Replay(&reopened, 0, &result);
+  ASSERT_EQ(frames.size(), 4u);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].first, i + 1);
+  }
+  RemoveWalFiles(path);
+}
+
+TEST(WalGroupCommitTest, PerTxnModeChargesPenaltyPerCommit) {
+  const std::string path = TestPath("wal_pertxn_penalty");
+  RemoveWalFiles(path);
+  Wal wal(path, RecoveryOptions(1 << 20));  // group commit off
+  const auto penalty = std::chrono::microseconds(300);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(wal.Commit("payload", true, penalty).ok());
+  }
+  // Per-txn mode: every durable commit pays its own sync and its own
+  // full modeled penalty (the paper's serialized Fig. 4 cost model).
+  EXPECT_EQ(wal.syncs(), 3u);
+  EXPECT_EQ(wal.penalty_us_charged(), 900u);
+  RemoveWalFiles(path);
+}
+
+TEST(WalGroupCommitTest, ConcurrentCommittersKeepDenseOrderedLsns) {
+  const std::string path = TestPath("wal_group_stress");
+  RemoveWalFiles(path);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  {
+    // No linger: batches form from natural contention (TSan exercises
+    // the waiter handoff under real interleavings).
+    Wal wal(path, GroupOptions(1 << 20, 64, std::chrono::microseconds(0)));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&wal, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          EXPECT_TRUE(wal.Commit("t" + std::to_string(t) + "-" +
+                                     std::to_string(i),
+                                 true, {})
+                          .ok());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(wal.commits(), static_cast<uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(wal.last_lsn(), static_cast<uint64_t>(kThreads * kPerThread));
+    EXPECT_LE(wal.syncs(), wal.commits());
+    EXPECT_GE(wal.group_commits(), 1u);
+  }
+  Wal reopened(path, RecoveryOptions(1 << 20));
+  WalRecoverResult result;
+  const auto frames = Replay(&reopened, 0, &result);
+  ASSERT_EQ(frames.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].first, i + 1);  // dense, ascending
+  }
+  RemoveWalFiles(path);
+}
+
+TEST(WalGroupCommitTest, FailedGroupSyncPoisonsAndFailsEveryMember) {
+  const std::string path = TestPath("wal_group_sync_fail");
+  RemoveWalFiles(path);
+  StorageFaultInjector fault(/*seed=*/7);
+  fault.FailNthSync(1, EIO);
+  Wal wal(path,
+          GroupOptions(1 << 20, 3, std::chrono::microseconds(2'000'000), &fault));
+  std::atomic<int> data_loss{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&wal, &data_loss, i] {
+      rlscommon::Status s =
+          wal.Commit("member-" + std::to_string(i), true, {});
+      if (s.code() == rlscommon::ErrorCode::kDataLoss) ++data_loss;
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The one failed sync fails the WHOLE parked group, and poisons the
+  // log exactly once (fsyncgate: no retry ever claims durability).
+  EXPECT_EQ(data_loss.load(), 3);
+  EXPECT_TRUE(wal.poisoned());
+  EXPECT_EQ(fault.sync_errors(), 1u);
+  rlscommon::Status s = wal.Commit("after", true, {});
+  EXPECT_EQ(s.code(), rlscommon::ErrorCode::kDataLoss);
+  RemoveWalFiles(path);
+}
+
+TEST(WalGroupCommitTest, CrashMidBatchReplaysWholeTransactionPrefix) {
+  const std::string path = TestPath("wal_group_crash");
+  RemoveWalFiles(path);
+  StorageFaultInjector fault(/*seed=*/8);
+  // 3 x 16-byte payloads = 3 x 33-byte frames in one 99-byte batch
+  // append; the power cut lands 17 bytes into the second frame.
+  fault.CrashAtByte(50);
+  {
+    Wal wal(path, GroupOptions(1 << 20, 3,
+                               std::chrono::microseconds(2'000'000), &fault));
+    std::atomic<int> data_loss{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 3; ++i) {
+      threads.emplace_back([&wal, &data_loss] {
+        if (wal.Commit(std::string(16, 'g'), true, {}).code() ==
+            rlscommon::ErrorCode::kDataLoss) {
+          ++data_loss;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(data_loss.load(), 3);
+    EXPECT_TRUE(wal.poisoned());
+    EXPECT_TRUE(fault.crashed());
+  }
+  ASSERT_EQ(FileSize(path), 50u);  // torn batch tail present on disk
+  // "Reboot": replay recovers a prefix of WHOLE transactions — the
+  // complete first frame — and drops the torn second frame.
+  Wal reopened(path, RecoveryOptions(1 << 20));
+  WalRecoverResult result;
+  const auto frames = Replay(&reopened, 0, &result);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].first, 1u);
+  EXPECT_EQ(result.torn_tail_bytes, 17u);
+  EXPECT_EQ(FileSize(path), 33u);
+  RemoveWalFiles(path);
+}
+
+TEST(WalGroupCommitTest, ToggleBetweenModesKeepsLsnContinuity) {
+  const std::string path = TestPath("wal_group_toggle");
+  RemoveWalFiles(path);
+  {
+    Wal wal(path, RecoveryOptions(1 << 20));
+    ASSERT_TRUE(wal.Commit("one", true, {}).ok());
+    ASSERT_TRUE(wal.Commit("two", true, {}).ok());
+    wal.SetGroupCommit(true);
+    ASSERT_TRUE(wal.Commit("three", true, {}).ok());
+    ASSERT_TRUE(wal.Commit("four", true, {}).ok());
+    wal.SetGroupCommit(false);
+    ASSERT_TRUE(wal.Commit("five", true, {}).ok());
+    EXPECT_EQ(wal.last_lsn(), 5u);
+  }
+  Wal reopened(path, RecoveryOptions(1 << 20));
+  WalRecoverResult result;
+  const auto frames = Replay(&reopened, 0, &result);
+  ASSERT_EQ(frames.size(), 5u);
+  EXPECT_EQ(frames[4], (std::pair<uint64_t, std::string>{5, "five"}));
+  RemoveWalFiles(path);
+}
+
+TEST(WalGroupCommitTest, LegacyModeGroupingKeepsByteAccounting) {
+  // The Fig. 4 bench flips the legacy (non-recovery) WAL into group
+  // mode: bytes/commit accounting and the recycle wrap must match the
+  // per-txn cost model.
+  const std::string path = TestPath("wal_group_legacy");
+  WalOptions options;
+  options.recycle_bytes = 1 << 20;
+  options.group_commit = true;
+  Wal wal(path, options);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&wal] {
+      for (int i = 0; i < kPerThread; ++i) {
+        EXPECT_TRUE(wal.Commit(std::string(10, 'x'), true, {}).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wal.commits(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(wal.bytes_logged(), static_cast<uint64_t>(kThreads * kPerThread * 10));
+  EXPECT_EQ(wal.file_bytes(), static_cast<uint64_t>(kThreads * kPerThread * 10));
+  EXPECT_LE(wal.syncs(), wal.commits());
 }
 
 }  // namespace
